@@ -1,0 +1,87 @@
+"""A2 (ablation) — how many DCM retention classes are enough?
+
+DESIGN.md calls out the DCM design spectrum: a fixed-retention device,
+a small menu of retention classes (realistic controller), or fully
+per-write programmable retention.  This ablation sweeps the class count
+(1, 2, 3, 6, 12 classes, log-spaced over the envelope) and scores each
+against fully-flexible matching on write+refresh energy.
+
+Asserted shape: energy falls monotonically (within tolerance) with
+class count, and a handful of classes (6) captures most of the gap to
+fully-flexible — the practical justification for a simple controller.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import format_table
+from repro.core.dcm import (
+    LifetimeMatchedPolicy,
+    RetentionClassPolicy,
+    evaluate_policy,
+)
+from repro.core.mrm import MRMConfig, MRMDevice
+from repro.core.placement import kv_cache_object
+from repro.units import DAY, GiB, HOUR, MINUTE, MiB
+
+
+def build_objects(n=400, seed=9):
+    rng = np.random.default_rng(seed)
+    lifetimes = rng.choice(
+        [30.0, 5 * MINUTE, 30 * MINUTE, 2 * HOUR, 12 * HOUR, 3 * DAY],
+        size=n,
+    )
+    return [
+        kv_cache_object(
+            int(rng.integers(4, 64)) * MiB, 1e10, 1e6,
+            context_lifetime_s=float(lifetime),
+        )
+        for lifetime in lifetimes
+    ]
+
+
+def log_spaced_classes(count: int, lo=30.0, hi=30 * DAY):
+    if count == 1:
+        return [hi]
+    return list(np.geomspace(lo, hi, count))
+
+
+def run_sweep():
+    device = MRMDevice(MRMConfig(capacity_bytes=64 * GiB))
+    objects = build_objects()
+    flexible = evaluate_policy(LifetimeMatchedPolicy(), objects, device)
+    rows = []
+    for count in (1, 2, 3, 6, 12):
+        policy = RetentionClassPolicy(classes=log_spaced_classes(count))
+        score = evaluate_policy(policy, objects, device)
+        rows.append(
+            {
+                "classes": count,
+                "energy_j": score.total_energy_j,
+                "refreshes": score.refreshes,
+                "vs_flexible": score.total_energy_j / flexible.total_energy_j,
+            }
+        )
+    return rows, flexible
+
+
+def test_a2_retention_classes(benchmark, report):
+    rows, flexible = benchmark(run_sweep)
+    body = format_table(
+        [
+            [r["classes"], f"{r['energy_j']:.3f}", r["refreshes"],
+             f"{r['vs_flexible']:.2f}x"]
+            for r in rows
+        ],
+        headers=["retention classes", "energy J", "forced refreshes",
+                 "vs fully-flexible"],
+    )
+    body += f"\nfully-flexible DCM: {flexible.total_energy_j:.3f} J"
+    report("A2 — DCM retention-class granularity", body)
+    energies = [r["energy_j"] for r in rows]
+    # More classes never hurt (monotone non-increasing within 1%).
+    assert all(a >= b * 0.99 for a, b in zip(energies, energies[1:]))
+    # Six classes close most of the gap to fully-flexible.
+    six = next(r for r in rows if r["classes"] == 6)
+    one = next(r for r in rows if r["classes"] == 1)
+    assert six["vs_flexible"] < 1.5
+    assert one["vs_flexible"] > six["vs_flexible"]

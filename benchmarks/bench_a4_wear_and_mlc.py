@@ -1,0 +1,98 @@
+"""A4 (ablation) — wear-leveling policy and MLC depth.
+
+Two device-level design choices DESIGN.md calls out:
+
+1. **Software wear-leveling policy** (Section 4 moves it off-device):
+   none vs dynamic vs static on a Zipf-skewed write stream — how much
+   device lifetime does the software control plane actually buy?
+2. **Bits per cell**: MRM's density lever (MLC [10]) against its write
+   energy and endurance costs — where does stacking bits stop paying?
+
+Also reports the dynamically-replicated-memory [17] recovery at end of
+life: the fraction of retired capacity that pairing rescues.
+"""
+
+from repro.analysis.figures import format_table
+from repro.core.mrm import MRMConfig, MRMDevice
+from repro.core.replication import ReplicationManager
+from repro.endurance.wearleveling import WearStreamConfig, compare_policies
+from repro.units import HOUR, MiB
+
+
+def run_wear_policies():
+    return compare_policies(
+        WearStreamConfig(num_blocks=128, writes=40_000, zipf_s=1.3, seed=5)
+    )
+
+
+def run_mlc_sweep():
+    rows = []
+    for bits in (1, 2, 3):
+        device = MRMDevice(
+            MRMConfig(
+                capacity_bytes=32 * MiB, block_bytes=MiB,
+                blocks_per_zone=8, bits_per_cell=bits,
+            )
+        )
+        rows.append(
+            {
+                "bits": bits,
+                "density": device.density_multiplier(),
+                "write_j_per_mib": device.write_energy_for(MiB, HOUR),
+                "endurance": device.endurance_at(HOUR),
+            }
+        )
+    return rows
+
+
+def run_replication():
+    manager = ReplicationManager(
+        subblocks_per_slot=128, fault_density_at_retirement=0.03, seed=11
+    )
+    for index in range(200):
+        manager.retire(index // 32, index % 32)
+    return manager
+
+
+def run_all():
+    return run_wear_policies(), run_mlc_sweep(), run_replication()
+
+
+def test_a4_wear_and_mlc(benchmark, report):
+    wear, mlc, replication = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    body = "Wear-leveling policies on a Zipf(1.3) stream:\n"
+    body += format_table(
+        [
+            [r["policy"], f"{r['imbalance']:.2f}",
+             f"{r['lifetime_multiplier']:.2f}"]
+            for r in wear
+        ],
+        headers=["policy", "wear imbalance", "lifetime multiplier"],
+    )
+    body += "\n\nMLC depth at 1-hour retention:\n"
+    body += format_table(
+        [
+            [r["bits"], f"{r['density']:.2f}x",
+             f"{r['write_j_per_mib'] * 1e3:.2f} mJ", f"{r['endurance']:.1e}"]
+            for r in mlc
+        ],
+        headers=["bits/cell", "density", "write energy / MiB", "endurance"],
+    )
+    body += (
+        f"\n\nDRM pairing at end of life: "
+        f"{replication.recovered_capacity_fraction():.1%} of retired "
+        f"capacity recovered ({replication.replicated_slots} pairs from "
+        f"{replication.retired_slots} retired slots)"
+    )
+    report("A4 — wear policy, MLC depth, and end-of-life replication", body)
+
+    by_policy = {r["policy"]: r for r in wear}
+    assert (
+        by_policy["dynamic"]["lifetime_multiplier"]
+        > 2 * by_policy["none"]["lifetime_multiplier"]
+    )
+    densities = [r["density"] for r in mlc]
+    endurances = [r["endurance"] for r in mlc]
+    assert densities == sorted(densities)
+    assert endurances == sorted(endurances, reverse=True)
+    assert replication.recovered_capacity_fraction() > 0.4

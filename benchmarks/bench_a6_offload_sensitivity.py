@@ -1,0 +1,71 @@
+"""A6 (extension) — idle-KV offload policies and F1 robustness.
+
+Two supporting studies:
+
+1. **Idle-KV offload** [49]: multi-turn conversations leave dead KV in
+   the fast tier between turns.  Compare keep / offload / drop / MRM on
+   fast-tier capacity consumed, resume latency, and recompute burned.
+   Asserted shape: offload frees capacity at a latency cost, drop at a
+   compute cost, and MRM (retention covering the think time) dominates
+   all three.
+
+2. **Figure 1 sensitivity**: sweep token rate, pool size, lifetime and
+   model, and report the fraction of the sweep at which each Figure 1
+   observation still holds (the reproduction's robustness certificate).
+"""
+
+from repro.analysis.figures import format_table
+from repro.analysis.sensitivity import robustness_summary, sweep_kv_requirement
+from repro.inference.accelerator import H100_80G
+from repro.inference.cluster import tensor_parallel_group
+from repro.tiering.offload import OffloadSimulator
+from repro.units import GiB
+from repro.workload.model import LLAMA2_70B
+
+
+def run_both():
+    simulator = OffloadSimulator(
+        LLAMA2_70B, tensor_parallel_group(H100_80G, 4), seed=3
+    )
+    offload_scores = simulator.compare(count=80)
+    points = sweep_kv_requirement()
+    robustness = robustness_summary(points)
+    return offload_scores, points, robustness
+
+
+def test_a6_offload_and_sensitivity(benchmark, report):
+    scores, points, robustness = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    body = "Idle-KV policies over 80 multi-turn conversations:\n"
+    body += format_table(
+        [
+            [s.policy,
+             f"{s.fast_tier_byte_seconds / GiB:.1f}",
+             f"{s.mean_resume_latency_s * 1e3:.1f}",
+             f"{s.recompute_flops:.2e}"]
+            for s in scores.values()
+        ],
+        headers=["policy", "fast-tier GiB-seconds", "mean resume ms",
+                 "recompute FLOPs"],
+    )
+    body += "\n\nFigure 1 robustness over the calibration sweep:\n"
+    body += format_table(
+        [[k, f"{v:.0%}"] for k, v in robustness.items()],
+        headers=["observation", "holds at"],
+    )
+    kv_values = [p.kv_writes_per_cell for p in points]
+    body += (
+        f"\nKV requirement range across sweep: "
+        f"{min(kv_values):.2e} .. {max(kv_values):.2e} writes/cell"
+    )
+    report("A6 — idle-KV offload and F1 sensitivity", body)
+
+    assert scores["keep"].fast_tier_byte_seconds > 0
+    assert scores["offload"].mean_resume_latency_s > 0
+    assert scores["drop"].recompute_flops > 0
+    mrm = scores["mrm"]
+    assert mrm.fast_tier_byte_seconds == 0
+    assert mrm.mean_resume_latency_s == 0
+    assert robustness["hbm_overprovisioned"] == 1.0
+    assert robustness["potential_sufficient"] >= 0.9

@@ -1,0 +1,81 @@
+"""A7 (extension) — serving under a rack power cap: HBM vs MRM tiers.
+
+Section 2.1: "the power density of the infrastructure is very high ...
+increasing the need for every Watt to be spent on useful work", plus
+the power-aware scheduling thread [46].
+
+Sweeps a per-machine power cap and reports the best DVFS operating
+point for two memory configurations of equal capacity:
+
+- 832 GiB of HBM (refresh power always on);
+- 320 GiB HBM + 512 GiB MRM (refresh-free bulk; decode traffic served
+  from the hbm tier in both configurations so the comparison isolates
+  the *background* power of the capacity).
+
+Asserted shape: at every feasible cap the MRM configuration's total
+power is lower at equal throughput, and it stays feasible at caps where
+all-HBM no longer fits — watts not spent on refresh become serving
+headroom.
+"""
+
+from repro.analysis.figures import format_table
+from repro.inference.accelerator import H100_80G
+from repro.inference.cluster import tensor_parallel_group
+from repro.inference.power import PowerModel, best_frequency_under_cap
+from repro.tiering.tiers import hbm_tier, mrm_tier
+from repro.units import GiB, HOUR
+from repro.workload.model import LLAMA2_70B
+
+
+def run_cap_sweep():
+    power_model = PowerModel(tensor_parallel_group(H100_80G, 4))
+    configs = {
+        "hbm-only (832G)": [hbm_tier(832 * GiB)],
+        "hbm+mrm (320G+512G)": [
+            hbm_tier(320 * GiB),
+            mrm_tier(512 * GiB, retention_s=6 * HOUR),
+        ],
+    }
+    caps = (4000.0, 3000.0, 2500.0, 2200.0, 2000.0)
+    results = {}
+    for name, tiers in configs.items():
+        results[name] = [
+            best_frequency_under_cap(
+                power_model, LLAMA2_70B, tiers, cap_w=cap
+            )
+            for cap in caps
+        ]
+    return caps, results
+
+
+def test_a7_power_cap(benchmark, report):
+    caps, results = benchmark(run_cap_sweep)
+    rows = []
+    for index, cap in enumerate(caps):
+        row = [f"{cap:.0f} W"]
+        for name in results:
+            point = results[name][index]
+            row.append(
+                f"{point.tokens_per_s:.0f} tok/s @ f={point.frequency:.2f}"
+                if point
+                else "INFEASIBLE"
+            )
+        rows.append(row)
+    report(
+        "A7 — decode throughput under a per-machine power cap",
+        format_table(rows, headers=["cap"] + list(results)),
+    )
+    hbm_points = results["hbm-only (832G)"]
+    mrm_points = results["hbm+mrm (320G+512G)"]
+    # Wherever both are feasible, MRM serves at lower total power for
+    # equal-or-better throughput.
+    for hbm_point, mrm_point in zip(hbm_points, mrm_points):
+        if hbm_point is None:
+            continue
+        assert mrm_point is not None
+        assert mrm_point.tokens_per_s >= hbm_point.tokens_per_s * 0.999
+        assert mrm_point.total_power_w < hbm_point.total_power_w
+    # And the MRM configuration survives at least as far down the sweep.
+    hbm_feasible = sum(1 for p in hbm_points if p is not None)
+    mrm_feasible = sum(1 for p in mrm_points if p is not None)
+    assert mrm_feasible >= hbm_feasible

@@ -1,0 +1,61 @@
+"""E3 — §2.1: HBM's refresh burden vs MRM's zero idle housekeeping.
+
+"Due to cell-level capacitor leakage, HBM fundamentally requires
+frequent refreshing (~ every tens to hundreds of milliseconds),
+consuming power even when the memory is idle."
+
+Regenerates the idle-hour energy of equal-capacity HBM / DDR5 / LPDDR
+pools vs an MRM pool, plus HBM's refresh-interval temperature derating.
+Asserts: every DRAM tier burns energy at zero traffic, MRM burns none,
+and in-package (hot) HBM refreshes 2x as often as cool DDR.
+"""
+
+from repro.analysis.figures import format_table
+from repro.devices.hbm import HBMStack
+from repro.energy.model import memory_energy
+from repro.tiering.tiers import hbm_tier, lpddr_tier, mrm_tier
+from repro.units import GiB, HOUR
+
+
+def run_idle_energy(capacity=192 * GiB, duration=HOUR):
+    tiers = [hbm_tier(capacity), lpddr_tier(capacity), mrm_tier(capacity)]
+    rows = []
+    for tier in tiers:
+        breakdown = memory_energy(tier, duration, bytes_read=0, bytes_written=0)
+        rows.append(
+            {
+                "tier": tier.name,
+                "refresh_j": breakdown.refresh_j,
+                "static_j": breakdown.static_j,
+                "idle_power_w": breakdown.mean_power_w,
+            }
+        )
+    hot = HBMStack(layers=8, temperature_c=95.0)
+    cool = HBMStack(layers=8, temperature_c=55.0)
+    derating = (
+        cool.effective_refresh_interval_s / hot.effective_refresh_interval_s
+    )
+    return rows, derating
+
+
+def test_e3_refresh_energy(benchmark, report):
+    rows, derating = benchmark(run_idle_energy)
+    report(
+        "E3 — idle energy of a 192 GiB pool over one hour",
+        format_table(
+            [
+                [r["tier"], f"{r['refresh_j']:.0f}", f"{r['static_j']:.0f}",
+                 f"{r['idle_power_w']:.1f}"]
+                for r in rows
+            ],
+            headers=["tier", "refresh J", "static J", "idle power W"],
+        ),
+    )
+    by_tier = {r["tier"]: r for r in rows}
+    assert by_tier["hbm"]["refresh_j"] > 0
+    assert by_tier["lpddr"]["refresh_j"] > 0
+    assert by_tier["mrm"]["refresh_j"] == 0.0
+    # MRM idle power at least an order of magnitude under HBM's.
+    assert by_tier["mrm"]["idle_power_w"] * 10 < by_tier["hbm"]["idle_power_w"]
+    # Hot in-package HBM refreshes twice as often (JEDEC derating).
+    assert derating == 2.0

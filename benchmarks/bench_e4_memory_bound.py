@@ -1,0 +1,81 @@
+"""E4 — §2.1: memory-boundness and the accelerator energy split.
+
+Two claims:
+- "even using HBM, a substantial part of every inference query is
+  memory bound [37]";
+- "approximately a third of the energy usage for an AI accelerator is
+  the memory."
+
+Regenerates (a) the memory-bound fraction of a Splitwise-median request
+across batch sizes (roofline), (b) a served-trace cluster measurement,
+and (c) the package energy split at serving traffic.
+"""
+
+
+from repro.analysis.figures import format_table
+from repro.energy.model import accelerator_energy_split, memory_energy
+from repro.inference.accelerator import H100_80G
+from repro.inference.cluster import Cluster, tensor_parallel_group
+from repro.inference.roofline import RooflineModel
+from repro.sim import Simulator
+from repro.tiering.tiers import hbm_tier
+from repro.units import GiB
+from repro.workload.model import LLAMA2_70B
+from repro.workload.traces import generate_trace, replay_trace
+
+
+def run_experiment():
+    # (a) roofline: per-request memory-bound fraction vs batch size.
+    roofline = RooflineModel(tensor_parallel_group(H100_80G, 4))
+    fractions = []
+    for batch in (1, 4, 16):
+        fraction = roofline.memory_bound_fraction_of_request(
+            LLAMA2_70B, prompt_tokens=1020, output_tokens=129,
+            batch_size=batch,
+        )
+        fractions.append((batch, fraction))
+
+    # (b) served trace measurement.
+    sim = Simulator()
+    cluster = Cluster(
+        sim, tensor_parallel_group(H100_80G, 4), LLAMA2_70B,
+        num_engines=1, max_batch_size=16,
+    )
+    trace = generate_trace(LLAMA2_70B, duration_s=8.0, seed=4)
+    cluster_report = cluster.run(replay_trace(trace))
+
+    # (c) package energy split at measured traffic.
+    tier = hbm_tier(4 * 80 * GiB)
+    duration = cluster_report.duration_s
+    memory = memory_energy(
+        tier,
+        duration,
+        bytes_read=cluster_report.tier_bytes_read["hbm"],
+        bytes_written=cluster_report.tier_bytes_written["hbm"],
+    )
+    split = accelerator_energy_split(
+        {"hbm": memory}, compute_power_w=4 * 350.0, duration_s=duration
+    )
+    return fractions, cluster_report, split
+
+
+def test_e4_memory_bound(benchmark, report):
+    fractions, cluster_report, split = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    body = format_table(
+        [[b, f"{f:.1%}"] for b, f in fractions],
+        headers=["batch", "memory-bound fraction of request"],
+    )
+    body += (
+        f"\n\nserved trace: {cluster_report.memory_bound_fraction:.1%} of "
+        f"steps memory-bound"
+        f"\npackage energy split: memory {split.memory_fraction:.1%} / "
+        f"compute {1 - split.memory_fraction:.1%}"
+    )
+    report("E4 — memory-boundness and accelerator energy split", body)
+    # Substantial memory-bound time at every batch size.
+    assert all(f > 0.5 for _b, f in fractions)
+    assert cluster_report.memory_bound_fraction > 0.8
+    # Memory is roughly a third of package energy (wide band: shape).
+    assert 0.15 < split.memory_fraction < 0.55

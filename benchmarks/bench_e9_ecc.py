@@ -1,0 +1,57 @@
+"""E9 — §4: retention-aware error correction.
+
+"a large block-based MRM interface means that there is scope for
+considering error correction techniques that operate on larger code
+words and have less overhead [8]."
+
+Regenerates (a) the Dolinar overhead-vs-block-size curve at equal
+per-bit protection, against the (72,64) SEC-DED baseline; and (b) the
+retention/code-strength trade: at a fixed read horizon, programming
+longer retention shrinks the code.
+"""
+
+from repro.analysis.figures import format_table
+from repro.ecc.blockcodes import overhead_vs_block_size
+from repro.ecc.hamming import HammingCodec
+from repro.ecc.policy import RetentionAwareECC
+from repro.units import DAY, HOUR, MINUTE, seconds_to_human
+
+
+def run_ecc_analysis():
+    curve = overhead_vs_block_size(rber=1e-4, target_block_failure=1e-12)
+    policy = RetentionAwareECC(block_data_bits=4096 * 8,
+                               target_block_failure=1e-15)
+    horizon = 10 * MINUTE
+    choices = [
+        policy.choose(spec_retention_s=r, worst_read_age_s=horizon)
+        for r in (10 * MINUTE, HOUR, 6 * HOUR, DAY)
+    ]
+    return curve, choices
+
+
+def test_e9_ecc(benchmark, report):
+    curve, choices = benchmark(run_ecc_analysis)
+    secded = HammingCodec(64)
+    body = format_table(
+        [[f"{p.data_bits} b", p.code.t, f"{p.overhead:.2%}"] for p in curve],
+        headers=["code word", "t", "overhead"],
+    )
+    body += f"\n\n(72,64) SEC-DED baseline overhead: {secded.overhead:.2%}\n"
+    body += "\nretention vs code strength at a 10-minute read horizon:\n"
+    body += format_table(
+        [
+            [seconds_to_human(c.spec_retention_s), f"{c.worst_rber:.1e}",
+             c.code.t, f"{c.overhead:.2%}"]
+            for c in choices
+        ],
+        headers=["programmed retention", "RBER at horizon", "t", "overhead"],
+    )
+    report("E9 — retention-aware ECC", body)
+
+    overheads = [p.overhead for p in curve]
+    assert all(a >= b for a, b in zip(overheads, overheads[1:]))
+    assert overheads[-1] < secded.overhead / 4  # big blocks win big
+    ts = [c.code.t for c in choices]
+    assert all(a >= b for a, b in zip(ts, ts[1:]))  # stronger cell, weaker code
+    for choice in choices:
+        assert choice.achieved_block_failure <= 1e-15

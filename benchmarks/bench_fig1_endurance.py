@@ -1,0 +1,30 @@
+"""F1 — Figure 1: endurance requirements vs technology endurance.
+
+Regenerates the paper's only figure: writes-per-cell required over a
+5-year deployment (weight updates hourly and per-second; the KV-cache
+append stream at the Splitwise Llama2-70B operating point) against the
+endurance of shipped products and of the underlying technologies.
+
+Expected shape (asserted):
+1. HBM/DRAM endurance exceeds every requirement by >= 6 decades;
+2. at least one shipped SCM product misses the KV-cache requirement;
+3. every SCM technology's demonstrated potential clears it.
+"""
+
+from repro.analysis.figures import render_figure1
+from repro.endurance.requirements import check_figure1_shape, figure1_data
+
+
+def run_figure1():
+    data = figure1_data()
+    shape = check_figure1_shape(data)
+    return data, shape
+
+
+def test_fig1_endurance(benchmark, report):
+    data, shape = benchmark(run_figure1)
+    report("Figure 1 — endurance requirements vs technologies",
+           render_figure1(data))
+    assert shape["hbm_overprovisioned"]
+    assert shape["products_insufficient"]
+    assert shape["potential_sufficient"]

@@ -1,0 +1,44 @@
+"""Benchmark-suite configuration.
+
+Every file here regenerates one table/figure of the paper (see the
+experiment index in DESIGN.md).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench prints its regenerated table (directly to the terminal,
+bypassing pytest capture, so the experiment record always appears in
+the run log) and *asserts* the paper's qualitative shape, so the
+reproduction is verified on every run.
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def report(request):
+    """Print a titled experiment block.
+
+    Temporarily disables pytest's output capture so the tables show up
+    even without ``-s`` — the benchmark log doubles as the experiment
+    record (tee'd into bench_output.txt).
+    """
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _report(title: str, body: str) -> None:
+        def emit() -> None:
+            print()
+            print("=" * 72)
+            print(title)
+            print("=" * 72)
+            print(body)
+            sys.stdout.flush()
+
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                emit()
+        else:  # pragma: no cover - capture plugin always present
+            emit()
+
+    return _report

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Quickstart: the MRM library in five minutes.
+
+Walks the paper's core loop end to end:
+
+1. the retention trade-off (what relaxing 10-year retention buys);
+2. an MRM device: write KV-cache-shaped data with matched retention,
+   read it during service, let it expire — zero housekeeping;
+3. Figure 1: why the workload's endurance needs fit relaxed-retention
+   cells but not shipped SCM products.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.figures import format_table, render_figure1
+from repro.core.controller import MRMController
+from repro.core.mrm import MRMConfig, MRMDevice
+from repro.core.retention import RetentionModel
+from repro.devices.catalog import RRAM_WEEBIT
+from repro.endurance.requirements import figure1_data
+from repro.units import DAY, HOUR, MINUTE, MiB, YEAR, seconds_to_human
+
+
+def show_retention_tradeoff() -> None:
+    """What does giving up non-volatility buy? (Section 3)"""
+    print("=" * 72)
+    print("1. The retention trade-off (reference: Weebit RRAM, 10-year spec)")
+    print("=" * 72)
+    model = RetentionModel(RRAM_WEEBIT)
+    rows = []
+    for retention in (10 * YEAR, 30 * DAY, DAY, HOUR, MINUTE):
+        rows.append(
+            [
+                seconds_to_human(retention),
+                model.write_energy_j_per_byte(retention)
+                / RRAM_WEEBIT.write_energy_j_per_byte,
+                model.write_latency_s(retention) / RRAM_WEEBIT.write_latency_s,
+                model.endurance_cycles(retention),
+                model.density_multiplier(retention),
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            headers=[
+                "retention", "write energy (rel)", "write latency (rel)",
+                "endurance (cycles)", "density (rel)",
+            ],
+        )
+    )
+    print()
+
+
+def show_mrm_device() -> None:
+    """Write / read / expire on a managed-retention device."""
+    print("=" * 72)
+    print("2. An MRM device with a software control plane")
+    print("=" * 72)
+    device = MRMDevice(
+        MRMConfig(capacity_bytes=512 * MiB, block_bytes=8 * MiB,
+                  blocks_per_zone=8)
+    )
+    controller = MRMController(device)
+
+    # A KV cache for a context expected to live ~2 minutes.
+    blocks = controller.write(64 * MiB, retention_s=2 * MINUTE, now=0.0)
+    print(f"wrote 64 MiB KV cache into {len(blocks)} blocks "
+          f"(zone {blocks[0].zone_id})")
+
+    # Decode steps read the whole cache sequentially.
+    for step in range(5):
+        latency, energy = controller.read(blocks, now=step * 10.0)
+    print(f"5 sequential full reads: last read {latency * 1e3:.2f} ms, "
+          f"{energy * 1e3:.2f} mJ")
+    print(f"RBER at 60 s of age: {device.rber_of(blocks[0], 60.0):.2e}")
+
+    # Context ends; data simply expires at its deadline. No refresh, no
+    # garbage collection, no wear-leveling traffic.
+    summary = controller.tick(now=10 * MINUTE)
+    print(f"control-plane tick at +10 min: {summary}")
+    print(f"housekeeping energy spent: {controller.housekeeping_energy_j} J")
+    print(f"device refresh energy (autonomous): "
+          f"{device.counters.refresh_energy_j} J  <- the MRM point")
+    print()
+
+
+def show_figure1() -> None:
+    """The paper's Figure 1, regenerated."""
+    print("=" * 72)
+    print("3. Figure 1 — endurance requirements vs technologies")
+    print("=" * 72)
+    print(render_figure1(figure1_data()))
+    print()
+
+
+def main() -> None:
+    show_retention_tradeoff()
+    show_mrm_device()
+    show_figure1()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file exists so `pip install -e .`
+works in offline environments without the `wheel` package (pip falls back
+to `setup.py develop` when no [build-system] table is declared).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Managed-Retention Memory (MRM): workload characterization and "
+        "trace-driven modeling for AI-era memory (HotOS '25 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

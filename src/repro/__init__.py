@@ -1,0 +1,52 @@
+"""Managed-Retention Memory (MRM): a reproduction of the HotOS '25 paper
+"Storage Class Memory is Dead, All Hail Managed-Retention Memory:
+Rethinking Memory for the AI Era" (Legtchenko et al., Microsoft
+Research).
+
+The library implements the memory class the paper proposes and every
+substrate its analysis depends on:
+
+================  ==========================================================
+``repro.sim``      deterministic discrete-event simulation kernel
+``repro.devices``  memory-technology models (DRAM/HBM/LPDDR/Flash/PCM/
+                   RRAM/STT-MRAM) with a cited constants catalog
+``repro.core``     the MRM contribution: retention physics, the zoned MRM
+                   device, software controller, DCM, refresh scheduling
+``repro.workload`` foundation-model inference workload (models, phases,
+                   Splitwise-calibrated request/trace generation)
+``repro.inference``AI-accelerator cluster simulator (roofline, paged KV
+                   cache, continuous batching)
+``repro.tiering``  retention-aware placement across HBM/MRM/LPDDR tiers
+``repro.ecc``      retention-aware error correction (Hamming, BCH,
+                   block-size analysis)
+``repro.endurance``Figure 1 arithmetic and lifetime modeling
+``repro.energy``   energy breakdowns and TCO / tokens-per-dollar
+``repro.analysis`` workload characterization and table rendering
+================  ==========================================================
+
+Quickstart
+----------
+>>> from repro.endurance import figure1_data
+>>> from repro.analysis import render_figure1
+>>> print(render_figure1(figure1_data()))  # doctest: +SKIP
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+per-figure/per-claim reproduction harnesses (indexed in DESIGN.md and
+EXPERIMENTS.md).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "devices",
+    "ecc",
+    "endurance",
+    "energy",
+    "inference",
+    "sim",
+    "tiering",
+    "units",
+    "workload",
+]

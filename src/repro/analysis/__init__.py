@@ -1,0 +1,43 @@
+"""Workload characterization and the paper's analysis tables.
+
+- :mod:`~repro.analysis.characterization` — synthesizes the block-level
+  access stream of an inference serving run and measures the properties
+  Section 2 claims: read:write ratio, sequentiality, in-place-update
+  rate, overwrite intervals, predictability.
+- :mod:`~repro.analysis.overprovisioning` — the HBM fit-to-workload
+  table: which HBM properties the workload actually uses (Section 2.2).
+- :mod:`~repro.analysis.figures` — plain-text table/log-bar rendering
+  used by the benchmark harnesses (no plotting dependencies).
+"""
+
+from repro.analysis.characterization import (
+    AccessRecord,
+    CharacterizationReport,
+    characterize,
+    synthesize_access_stream,
+)
+from repro.analysis.overprovisioning import (
+    ProvisioningRow,
+    hbm_provisioning_table,
+)
+from repro.analysis.figures import format_table, log_bar, render_figure1
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    robustness_summary,
+    sweep_kv_requirement,
+)
+
+__all__ = [
+    "AccessRecord",
+    "CharacterizationReport",
+    "ProvisioningRow",
+    "SensitivityPoint",
+    "characterize",
+    "format_table",
+    "hbm_provisioning_table",
+    "log_bar",
+    "render_figure1",
+    "robustness_summary",
+    "sweep_kv_requirement",
+    "synthesize_access_stream",
+]

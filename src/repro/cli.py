@@ -1,0 +1,294 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro fig1                 # render Figure 1
+    python -m repro tradeoff             # retention trade-off table
+    python -m repro characterize         # workload characterization
+    python -m repro provisioning         # the HBM fit-to-workload table
+    python -m repro serve --rate 1.5     # simulate cluster serving
+    python -m repro sensitivity          # Figure 1 robustness sweep
+    python -m repro trace --out t.jsonl  # generate a Splitwise-shaped trace
+
+Every subcommand prints the same tables the benchmark harness asserts
+on, so the CLI is the interactive twin of ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.figures import format_table, render_figure1
+from repro.units import DAY, HOUR, MINUTE, YEAR, seconds_to_human
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.endurance.requirements import check_figure1_shape, figure1_data
+
+    data = figure1_data(lifetime_s=args.years * YEAR)
+    print(render_figure1(data))
+    print()
+    shape = check_figure1_shape(data)
+    print("shape checks:", shape)
+    return 0 if all(shape.values()) else 1
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    from repro.core.retention import RetentionModel
+    from repro.devices.catalog import get_profile
+
+    reference = get_profile(args.reference)
+    model = RetentionModel(reference)
+    rows = []
+    for retention in (10 * YEAR, YEAR, 30 * DAY, DAY, HOUR, MINUTE):
+        rows.append(
+            [
+                seconds_to_human(retention),
+                model.write_energy_j_per_byte(retention)
+                / reference.write_energy_j_per_byte,
+                model.write_latency_s(retention) / reference.write_latency_s,
+                f"{model.endurance_cycles(retention):.2e}",
+                model.density_multiplier(retention),
+            ]
+        )
+    print(f"retention trade-off, reference: {reference.name}")
+    print(
+        format_table(
+            rows,
+            headers=["retention", "write energy", "write latency",
+                     "endurance", "density"],
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis.characterization import (
+        characterize,
+        synthesize_access_stream,
+    )
+    from repro.workload.model import LLAMA2_13B
+    from repro.workload.traces import generate_trace, replay_trace
+
+    trace = generate_trace(LLAMA2_13B, count=args.requests, duration_s=None,
+                           seed=args.seed)
+    stream = synthesize_access_stream(
+        LLAMA2_13B, list(replay_trace(trace)), batch_size=4
+    )
+    profile = characterize(stream)
+    print(
+        format_table(
+            [
+                ["read:write ratio", f"{profile.read_write_ratio:.0f}:1"],
+                ["sequentiality", f"{profile.sequentiality:.1%}"],
+                ["in-place updates", f"{profile.inplace_update_fraction:.2%}"],
+                ["predictability", f"{profile.predictability:.1%}"],
+            ],
+            headers=["metric", "value"],
+        )
+    )
+    return 0
+
+
+def _cmd_provisioning(args: argparse.Namespace) -> int:
+    from repro.analysis.overprovisioning import hbm_provisioning_table
+
+    rows = hbm_provisioning_table()
+    print(
+        format_table(
+            [
+                [r.property, f"{r.provided:.3g}", f"{r.needed:.3g}",
+                 f"{r.ratio:.3g}", r.verdict]
+                for r in rows
+            ],
+            headers=["property", "provided", "needed", "ratio", "verdict"],
+        )
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.inference.accelerator import H100_80G
+    from repro.inference.cluster import Cluster, tensor_parallel_group
+    from repro.sim import Simulator
+    from repro.workload.model import LLAMA2_70B
+    from repro.workload.requests import PoissonArrivals
+    from repro.workload.traces import generate_trace, replay_trace
+
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        tensor_parallel_group(H100_80G, args.tp),
+        LLAMA2_70B,
+        num_engines=args.engines,
+        max_batch_size=args.batch,
+    )
+    trace = generate_trace(
+        LLAMA2_70B,
+        arrivals=PoissonArrivals(args.rate),
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    report = cluster.run(replay_trace(trace))
+    print(
+        format_table(
+            [
+                ["requests", report.requests_completed],
+                ["tokens", report.tokens_generated],
+                ["throughput tok/s", f"{report.throughput_tokens_per_s:.0f}"],
+                ["TTFT p50 s", f"{report.ttft_p50_s:.3f}"],
+                ["TBT p50 ms", f"{report.tbt_p50_s * 1e3:.1f}"],
+                ["memory-bound", f"{report.memory_bound_fraction:.1%}"],
+                ["tokens/J", f"{report.tokens_per_joule:.4f}"],
+            ],
+            headers=["metric", "value"],
+        )
+    )
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis.sensitivity import (
+        robustness_summary,
+        sweep_kv_requirement,
+    )
+
+    points = sweep_kv_requirement()
+    print(
+        format_table(
+            [
+                [p.parameter, p.value, f"{p.kv_writes_per_cell:.2e}"]
+                for p in points
+            ],
+            headers=["parameter", "value", "KV writes/cell"],
+        )
+    )
+    print()
+    summary = robustness_summary(points)
+    print(
+        format_table(
+            [[k, f"{v:.0%}"] for k, v in summary.items()],
+            headers=["observation", "holds at"],
+        )
+    )
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    from repro.analysis.claims import run_all_claims
+
+    results = run_all_claims()
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                "PASS" if result.holds else "FAIL",
+                result.claim.claim_id,
+                f"§{result.claim.section}",
+                result.evidence,
+            ]
+        )
+    print(format_table(rows, headers=["status", "claim", "section",
+                                      "evidence"]))
+    failed = sum(1 for r in results if not r.holds)
+    print(f"\n{len(results) - failed}/{len(results)} claims hold")
+    return 1 if failed else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workload.model import LLAMA2_70B
+    from repro.workload.traces import generate_trace, write_trace
+    from repro.workload.distributions import (
+        SPLITWISE_CODE,
+        SPLITWISE_CONVERSATION,
+    )
+
+    profile = (
+        SPLITWISE_CODE if args.profile == "code" else SPLITWISE_CONVERSATION
+    )
+    records = generate_trace(
+        LLAMA2_70B, profile=profile, duration_s=args.duration, seed=args.seed
+    )
+    count = write_trace(records, args.out)
+    print(f"wrote {count} requests ({profile.name}) to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MRM (HotOS '25) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser("fig1", help="render Figure 1")
+    fig1.add_argument("--years", type=float, default=5.0,
+                      help="deployment lifetime (years)")
+    fig1.set_defaults(func=_cmd_fig1)
+
+    tradeoff = sub.add_parser("tradeoff", help="retention trade-off table")
+    tradeoff.add_argument("--reference", default="rram-weebit",
+                          help="catalog profile to relax")
+    tradeoff.set_defaults(func=_cmd_tradeoff)
+
+    characterize = sub.add_parser(
+        "characterize", help="workload access-pattern characterization"
+    )
+    characterize.add_argument("--requests", type=int, default=8)
+    characterize.add_argument("--seed", type=int, default=0)
+    characterize.set_defaults(func=_cmd_characterize)
+
+    provisioning = sub.add_parser(
+        "provisioning", help="the HBM fit-to-workload table"
+    )
+    provisioning.set_defaults(func=_cmd_provisioning)
+
+    serve = sub.add_parser("serve", help="simulate cluster serving")
+    serve.add_argument("--rate", type=float, default=1.0,
+                       help="request arrivals per second")
+    serve.add_argument("--duration", type=float, default=30.0)
+    serve.add_argument("--engines", type=int, default=2)
+    serve.add_argument("--tp", type=int, default=4,
+                       help="tensor-parallel group size")
+    serve.add_argument("--batch", type=int, default=16)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="Figure 1 robustness sweep"
+    )
+    sensitivity.set_defaults(func=_cmd_sensitivity)
+
+    claims = sub.add_parser(
+        "claims", help="run every paper-claim check (the live reproduction)"
+    )
+    claims.set_defaults(func=_cmd_claims)
+
+    trace = sub.add_parser("trace", help="generate a synthetic trace file")
+    trace.add_argument("--out", required=True)
+    trace.add_argument("--profile", choices=("conversation", "code"),
+                       default="conversation")
+    trace.add_argument("--duration", type=float, default=60.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

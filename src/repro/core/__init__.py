@@ -1,0 +1,66 @@
+"""The paper's primary contribution: Managed-Retention Memory (MRM).
+
+This package implements the memory class the paper proposes and the
+mechanisms Section 4 sketches:
+
+- :mod:`~repro.core.retention` — the quantitative retention physics:
+  thermal-stability factor Δ linking retention time to write energy,
+  write latency, endurance and density (the knob MRM turns).
+- :mod:`~repro.core.errors` — retention decay as a raw bit-error-rate
+  that grows with data age and temperature.
+- :mod:`~repro.core.zones` — the block/zone address space of the MRM
+  device interface (no byte-addressable random access; append-only
+  zones, ZNS-like).
+- :mod:`~repro.core.mrm` — the MRM device itself: programmable-retention
+  writes, per-block retention deadlines, damage-fraction wear.
+- :mod:`~repro.core.wear` — software wear-leveling over zones.
+- :mod:`~repro.core.refresh` — the refresh-or-expire deadline scheduler.
+- :mod:`~repro.core.controller` — the lightweight software control plane
+  tying zones + wear + refresh together over one device.
+- :mod:`~repro.core.dcm` — Dynamically Configurable Memory: choosing a
+  retention per write from the data's declared lifetime.
+- :mod:`~repro.core.placement` — data-object descriptors (weights, KV
+  cache, activations) with lifetime and access-rate metadata, consumed
+  by the tiering engine.
+"""
+
+from repro.core.retention import RetentionModel, RetentionParams
+from repro.core.errors import RetentionErrorModel
+from repro.core.zones import Block, BlockState, Zone, ZonedAddressSpace
+from repro.core.mrm import MRMConfig, MRMDevice
+from repro.core.wear import WearLeveler
+from repro.core.refresh import RefreshDecision, RefreshScheduler
+from repro.core.controller import ControllerStats, MRMController
+from repro.core.dcm import DCMPolicy, FixedRetentionPolicy, LifetimeMatchedPolicy, RetentionClassPolicy
+from repro.core.placement import AccessProfile, DataKind, DataObject
+from repro.core.replication import FaultMap, ReplicaPair, ReplicationManager
+from repro.core.banks import BankGeometry, BankedDevice
+
+__all__ = [
+    "AccessProfile",
+    "BankGeometry",
+    "BankedDevice",
+    "Block",
+    "BlockState",
+    "ControllerStats",
+    "DCMPolicy",
+    "DataKind",
+    "DataObject",
+    "FaultMap",
+    "FixedRetentionPolicy",
+    "LifetimeMatchedPolicy",
+    "MRMConfig",
+    "MRMController",
+    "MRMDevice",
+    "RefreshDecision",
+    "RefreshScheduler",
+    "ReplicaPair",
+    "ReplicationManager",
+    "RetentionClassPolicy",
+    "RetentionErrorModel",
+    "RetentionModel",
+    "RetentionParams",
+    "WearLeveler",
+    "Zone",
+    "ZonedAddressSpace",
+]

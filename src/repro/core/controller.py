@@ -1,0 +1,210 @@
+"""The MRM software control plane ("lightweight memory controller").
+
+Section 4's controller argument: keep the device dumb (block access
+only), and host refresh, wear-leveling and reclamation decisions in
+software with global visibility.  :class:`MRMController` is that control
+plane for one device.  It composes:
+
+- :class:`~repro.core.wear.WearLeveler` — which zone to open next;
+- :class:`~repro.core.refresh.RefreshScheduler` — refresh-or-expire at
+  each block's retention deadline;
+- retention-class *zone affinity*: writes with similar retention land in
+  the same zone, so a zone's blocks expire together and the whole zone
+  resets without copying — the append-only analogue of avoiding GC
+  write amplification.
+
+The public API is deliberately storage-like: ``write`` a buffer with a
+retention and a liveness predicate, ``read`` it back, ``delete`` it, and
+``tick`` the clock forward so deadline decisions run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.mrm import MRMDevice
+from repro.core.refresh import LivenessFn, RefreshDecision, RefreshScheduler
+from repro.core.wear import WearLeveler
+from repro.core.zones import Block, BlockState, Zone
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate controller activity."""
+
+    writes: int = 0
+    reads: int = 0
+    deletes: int = 0
+    zones_reclaimed: int = 0
+    migrations_requested: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+
+class MRMController:
+    """Software control plane over one :class:`~repro.core.mrm.MRMDevice`.
+
+    Parameters
+    ----------
+    device:
+        The managed device.
+    wear_policy:
+        Zone-allocation policy name (see :class:`WearLeveler`).
+    guard_band:
+        Refresh scheduler guard band.
+    retention_affinity:
+        If True (default), writes are bucketed into zones by
+        log2(retention) so zone contents expire together.
+    """
+
+    def __init__(
+        self,
+        device: MRMDevice,
+        wear_policy: str = "least-worn",
+        guard_band: float = 0.1,
+        retention_affinity: bool = True,
+    ) -> None:
+        self.device = device
+        self.wear = WearLeveler(device, policy=wear_policy)
+        self.scheduler = RefreshScheduler(device, guard_band=guard_band)
+        self.retention_affinity = retention_affinity
+        self.stats = ControllerStats()
+        # retention-class bucket -> zone currently open for that class
+        self._open_zones: Dict[int, Zone] = {}
+        #: blocks handed to the caller for migration (device too worn)
+        self.migration_queue: List[Block] = []
+
+    # ------------------------------------------------------------------
+    # Zone management
+    # ------------------------------------------------------------------
+    def _bucket_of(self, retention_s: float) -> int:
+        if not self.retention_affinity:
+            return 0
+        return int(math.floor(math.log2(max(retention_s, 1e-9))))
+
+    def _zone_for(self, retention_s: float) -> Zone:
+        bucket = self._bucket_of(retention_s)
+        zone = self._open_zones.get(bucket)
+        if zone is None or zone.is_full:
+            zone = self.wear.pick_zone()
+            self._open_zones[bucket] = zone
+        return zone
+
+    def _reclaim_dead_zones(self) -> int:
+        """Reset every full zone with no remaining valid blocks."""
+        reclaimed = 0
+        # A full zone is closed: drop it from the open set so it becomes
+        # reclaimable as soon as its blocks die.
+        self._open_zones = {
+            bucket: zone
+            for bucket, zone in self._open_zones.items()
+            if not zone.is_full
+        }
+        open_ids = {z.zone_id for z in self._open_zones.values()}
+        for zone in self.device.space.zones:
+            if zone.is_empty or zone.zone_id in open_ids:
+                continue
+            if all(b.state is not BlockState.VALID for b in zone.blocks):
+                self.device.reset_zone(zone.zone_id)
+                reclaimed += 1
+        self.stats.zones_reclaimed += reclaimed
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        size_bytes: int,
+        retention_s: float,
+        now: float,
+        liveness: Optional[LivenessFn] = None,
+    ) -> List[Block]:
+        """Write ``size_bytes`` with a target retention.
+
+        The buffer is split into device blocks, placed in the open zone
+        of the matching retention class, and registered with the refresh
+        scheduler.  ``liveness`` defaults to "dead at first deadline"
+        (write-once data that simply expires — the KV-cache common case).
+
+        Returns the blocks holding the data, in order.
+        """
+        if size_bytes <= 0:
+            raise ValueError("size must be positive")
+        liveness = liveness or (lambda _block, _now: False)
+        block_bytes = self.device.config.block_bytes
+        blocks: List[Block] = []
+        remaining = size_bytes
+        while remaining > 0:
+            chunk = min(remaining, block_bytes)
+            zone = self._zone_for(retention_s)
+            block, _result = self.device.append(zone.zone_id, chunk, retention_s, now)
+            self.scheduler.register(block, liveness)
+            blocks.append(block)
+            remaining -= chunk
+        self.stats.writes += 1
+        self.stats.bytes_written += size_bytes
+        return blocks
+
+    def read(self, blocks: List[Block], now: float) -> Tuple[float, float]:
+        """Sequential read of a block list; returns (latency_s, energy_j).
+
+        Latency is the sum over blocks (one sequential stream); raises if
+        any block has expired — the caller should have refreshed or
+        recomputed.
+        """
+        latency = 0.0
+        energy = 0.0
+        for block in blocks:
+            result = self.device.read_block(block, now)
+            latency += result.latency_s
+            energy += result.energy_j
+            self.stats.bytes_read += block.size_bytes
+        self.stats.reads += 1
+        return latency, energy
+
+    def delete(self, blocks: List[Block]) -> None:
+        """Caller declares the data dead; zones reclaim on next tick."""
+        for block in blocks:
+            self.scheduler.deregister(block)
+            self.device.mark_expired(block)
+        self.stats.deletes += 1
+
+    # ------------------------------------------------------------------
+    # Control plane clock
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> Dict[str, int]:
+        """Advance the control plane to ``now``: run due refresh
+        decisions, collect migration requests, reclaim dead zones.
+
+        Returns a summary dict of action counts for this tick.
+        """
+        decisions = self.scheduler.run_until(now)
+        migrate = [b for b, d in decisions if d is RefreshDecision.MIGRATE]
+        self.migration_queue.extend(migrate)
+        self.stats.migrations_requested += len(migrate)
+        reclaimed = self._reclaim_dead_zones()
+        return {
+            "refreshed": sum(
+                1 for _b, d in decisions if d is RefreshDecision.REFRESH
+            ),
+            "expired": sum(1 for _b, d in decisions if d is RefreshDecision.EXPIRE),
+            "migrated": len(migrate),
+            "zones_reclaimed": reclaimed,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def occupancy(self) -> float:
+        return self.device.space.occupancy()
+
+    def free_zones(self) -> int:
+        return len(self.device.space.empty_zones())
+
+    @property
+    def housekeeping_energy_j(self) -> float:
+        """Energy spent on refreshes (the only housekeeping MRM has)."""
+        return self.scheduler.stats.refresh_energy_j

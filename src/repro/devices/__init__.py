@@ -1,0 +1,63 @@
+"""Memory-technology device models.
+
+This package is the substrate the paper's analysis runs on: parameterized
+models of every memory/storage technology the paper compares —
+
+- volatile: DRAM (:mod:`~repro.devices.dram`), 3D-stacked HBM
+  (:mod:`~repro.devices.hbm`), LPDDR (:mod:`~repro.devices.lpddr`);
+- non-volatile storage: NAND/NOR Flash (:mod:`~repro.devices.flash`);
+- resistive SCM candidates: PCM (:mod:`~repro.devices.pcm`), RRAM
+  (:mod:`~repro.devices.rram`), STT-MRAM (:mod:`~repro.devices.sttmram`).
+
+Each technology has a :class:`~repro.devices.base.TechnologyProfile`
+(constants: retention, endurance, latency, bandwidth, energy/bit, cost)
+recorded in :mod:`~repro.devices.catalog` with the source of each number,
+and a behavioural :class:`~repro.devices.base.MemoryDevice` subclass that
+accounts accesses, wear, and energy.
+
+The catalog distinguishes *product* endurance (what shipped devices
+deliver) from *technology-potential* endurance (what the cell technology
+has demonstrated in the literature) — the distinction Figure 1 of the
+paper turns on.
+"""
+
+from repro.devices.base import (
+    AccessKind,
+    AccessResult,
+    CellKind,
+    MemoryDevice,
+    TechnologyProfile,
+)
+from repro.devices.catalog import (
+    PRODUCT_ENDURANCE,
+    TECHNOLOGY_POTENTIAL_ENDURANCE,
+    all_profiles,
+    get_profile,
+)
+from repro.devices.dram import DRAMDevice
+from repro.devices.flash import FlashDevice, FlashTranslationLayer
+from repro.devices.hbm import HBMStack
+from repro.devices.lpddr import LPDDRDevice
+from repro.devices.pcm import PCMDevice
+from repro.devices.rram import RRAMDevice
+from repro.devices.sttmram import STTMRAMDevice
+
+__all__ = [
+    "AccessKind",
+    "AccessResult",
+    "CellKind",
+    "DRAMDevice",
+    "FlashDevice",
+    "FlashTranslationLayer",
+    "HBMStack",
+    "LPDDRDevice",
+    "MemoryDevice",
+    "PCMDevice",
+    "PRODUCT_ENDURANCE",
+    "RRAMDevice",
+    "STTMRAMDevice",
+    "TECHNOLOGY_POTENTIAL_ENDURANCE",
+    "TechnologyProfile",
+    "all_profiles",
+    "get_profile",
+]

@@ -1,0 +1,71 @@
+"""LPDDR model: the low-power, lower-bandwidth DRAM tier.
+
+LPDDR appears in the paper as the "slower tier" (GB200 integrates an
+LPDDR5 controller for a higher-capacity, lower-bandwidth tier [35]) and
+as the strawman the paper rejects in Section 3: pairing HBM with LPDDR
+cuts cost but also cuts the bandwidth at which the data is available and
+does nothing for HBM's read energy.
+
+The model is a :class:`~repro.devices.dram.DRAMDevice` with the LPDDR5X
+profile plus deep-sleep (self-refresh) state modeling, which is the
+feature LPDDR actually adds over DDR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.base import TechnologyProfile
+from repro.devices.catalog import LPDDR5X
+from repro.devices.dram import DRAMDevice
+
+
+class LPDDRDevice(DRAMDevice):
+    """An LPDDR package with self-refresh power states.
+
+    States: ``active`` (normal), ``self-refresh`` (retains data at
+    reduced power, cannot serve accesses).
+    """
+
+    #: Self-refresh consumes roughly this fraction of active refresh power
+    #: (on-die refresh with slowed clocks).
+    SELF_REFRESH_POWER_FRACTION = 0.25
+
+    def __init__(
+        self,
+        profile: Optional[TechnologyProfile] = None,
+        capacity_bytes: int = 32 * 1024**3,
+        temperature_c: float = 55.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(profile or LPDDR5X, capacity_bytes, temperature_c, name)
+        self._self_refresh = False
+
+    @property
+    def in_self_refresh(self) -> bool:
+        return self._self_refresh
+
+    def enter_self_refresh(self) -> None:
+        self._self_refresh = True
+
+    def exit_self_refresh(self) -> None:
+        self._self_refresh = False
+
+    def read(self, address: int, size_bytes: int):
+        if self._self_refresh:
+            raise RuntimeError(f"{self.name}: read while in self-refresh")
+        return super().read(address, size_bytes)
+
+    def write(self, address: int, size_bytes: int):
+        if self._self_refresh:
+            raise RuntimeError(f"{self.name}: write while in self-refresh")
+        return super().write(address, size_bytes)
+
+    def accrue_refresh_energy(self, duration_s: float, occupancy: float = 1.0) -> float:
+        """Refresh energy; cheaper while parked in self-refresh."""
+        energy = super().accrue_refresh_energy(duration_s, occupancy)
+        if self._self_refresh:
+            discount = energy * (1.0 - self.SELF_REFRESH_POWER_FRACTION)
+            self.counters.refresh_energy_j -= discount
+            energy -= discount
+        return energy

@@ -1,0 +1,76 @@
+"""Phase-Change Memory (PCM) device model.
+
+PCM stores state in the amorphous/crystalline phase of a chalcogenide.
+Its quirks relative to the other resistive technologies:
+
+- *asymmetric writes*: RESET (melt-quench to amorphous) is a short,
+  high-current pulse; SET (crystallize) is a longer, lower-current pulse.
+  Write energy is dominated by RESET current — the reason PCM write
+  energy is an order of magnitude above its read energy.
+- *resistance drift*: the amorphous phase's resistance drifts upward as
+  ``R(t) = R0 * (t/t0)^nu``, which erodes MLC read margins over time and
+  couples data age to read reliability — exactly the retention-as-a-
+  continuum point the paper makes.
+
+Intel Optane / 3D XPoint [16] is the shipped instance (profile
+``pcm-optane``); the cell literature [24, 30] supports far higher
+endurance (profile ``pcm-potential``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.base import TechnologyProfile
+from repro.devices.catalog import PCM_OPTANE
+from repro.devices.resistive import ResistiveDevice
+
+
+class PCMDevice(ResistiveDevice):
+    """A PCM device with drift-aware read-margin modeling."""
+
+    #: Typical amorphous drift exponent (literature: 0.05-0.11).
+    DRIFT_EXPONENT = 0.1
+    #: Reference time for the drift power law.
+    DRIFT_T0_S = 1.0
+
+    def __init__(
+        self,
+        profile: Optional[TechnologyProfile] = None,
+        capacity_bytes: int = 1024**3,
+        bits_per_cell: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            profile or PCM_OPTANE,
+            capacity_bytes,
+            pulse_success_probability=0.9,
+            max_pulses=8,
+            bits_per_cell=bits_per_cell,
+            rng=rng,
+            name=name,
+        )
+
+    def drift_resistance_ratio(self, age_s: float) -> float:
+        """Amorphous resistance multiplier after ``age_s`` seconds."""
+        if age_s < 0:
+            raise ValueError("age must be >= 0")
+        if age_s < self.DRIFT_T0_S:
+            return 1.0
+        return (age_s / self.DRIFT_T0_S) ** self.DRIFT_EXPONENT
+
+    def mlc_read_margin(self, age_s: float) -> float:
+        """Remaining fraction of the MLC level window after drift.
+
+        With ``2**bits_per_cell`` levels packed into a fixed log-resistance
+        range, drift consumes margin proportionally to the log of the
+        resistance ratio.  At 1.0 the window is pristine; at 0.0 levels
+        have merged (reads are unreliable).
+        """
+        levels = 2**self.bits_per_cell
+        window = 1.0 / levels
+        drift = np.log10(self.drift_resistance_ratio(age_s)) * 0.25
+        return float(max(0.0, window - drift) / window)

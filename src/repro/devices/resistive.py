@@ -1,0 +1,125 @@
+"""Shared behaviour for resistive (SCM-candidate) memory devices.
+
+PCM, RRAM and STT-MRAM share the traits the paper builds MRM from:
+
+- writes are *programmed*, not latched: a program pulse (or several)
+  switches cell state, and devices commonly run program-and-verify loops
+  to hit a target resistance window;
+- write cost (energy, latency) and retention are coupled: a stronger
+  program pulse buys a deeper/more stable state and therefore longer
+  retention, at the cost of energy, latency and cell wear;
+- cells support multi-level encoding (MLC) by targeting intermediate
+  windows, trading density for margin.
+
+:class:`ResistiveDevice` models program-verify with a per-pulse success
+probability: expected pulses per write follow a geometric distribution,
+and each pulse costs energy and wears the cell.  Deterministic by
+default (expected values) so simulations are reproducible; a seeded RNG
+mode exists for stochastic studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.base import AccessKind, AccessResult, MemoryDevice, TechnologyProfile
+
+
+class ResistiveDevice(MemoryDevice):
+    """A resistive-cell device with program-verify write behaviour.
+
+    Parameters
+    ----------
+    pulse_success_probability:
+        Probability one program pulse lands the cell in its target
+        window.  Expected pulses per cell write is ``1/p``.
+    max_pulses:
+        Verify loop bound; exceeding it is a write failure (counted).
+    bits_per_cell:
+        MLC level count (1 = SLC).  More bits per cell shrinks the target
+        window: success probability is derated by ``mlc_derate`` per
+        extra bit.
+    rng:
+        If given, pulse counts are sampled; otherwise expected values are
+        charged (deterministic mode).
+    """
+
+    MLC_DERATE_PER_BIT = 0.75
+
+    def __init__(
+        self,
+        profile: TechnologyProfile,
+        capacity_bytes: int,
+        pulse_success_probability: float = 0.95,
+        max_pulses: int = 8,
+        bits_per_cell: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "",
+    ) -> None:
+        if not 0 < pulse_success_probability <= 1:
+            raise ValueError("pulse success probability must be in (0, 1]")
+        if bits_per_cell < 1:
+            raise ValueError("bits_per_cell must be >= 1")
+        if max_pulses < 1:
+            raise ValueError("max_pulses must be >= 1")
+        super().__init__(profile, capacity_bytes, name=name)
+        self.base_pulse_success = pulse_success_probability
+        self.max_pulses = max_pulses
+        self.bits_per_cell = bits_per_cell
+        self.rng = rng
+        self.write_failures = 0
+        self.total_pulses = 0.0
+
+    @property
+    def pulse_success_probability(self) -> float:
+        """Per-pulse success after MLC derating."""
+        derate = self.MLC_DERATE_PER_BIT ** (self.bits_per_cell - 1)
+        return self.base_pulse_success * derate
+
+    def expected_pulses_per_write(self) -> float:
+        """Mean pulses of a truncated-geometric verify loop."""
+        p = self.pulse_success_probability
+        n = self.max_pulses
+        q = 1.0 - p
+        # E[min(Geometric(p), n)] = (1 - q^n) / p
+        return (1.0 - q**n) / p
+
+    def _pulses_for_write(self) -> float:
+        if self.rng is None:
+            return self.expected_pulses_per_write()
+        p = self.pulse_success_probability
+        draws = self.rng.geometric(p)
+        return float(min(draws, self.max_pulses))
+
+    def write(self, address: int, size_bytes: int) -> AccessResult:
+        """Program-verify write: energy/latency scale with pulse count."""
+        self._check_range(address, size_bytes)
+        pulses = self._pulses_for_write()
+        self.total_pulses += pulses
+        if self.rng is not None:
+            p = self.pulse_success_probability
+            if (1.0 - p) ** self.max_pulses > self.rng.random():
+                self.write_failures += 1
+        latency = (
+            self.profile.write_latency_s * pulses
+            + size_bytes / self.profile.write_bandwidth
+        )
+        energy = size_bytes * self.profile.write_energy_j_per_byte * pulses
+        c = self.counters
+        c.writes += 1
+        c.bytes_written += size_bytes
+        c.write_energy_j += energy
+        self._wear_blocks(address, size_bytes)
+        return AccessResult(AccessKind.WRITE, address, size_bytes, latency, energy)
+
+    def mean_pulses(self) -> float:
+        """Observed mean pulses per write."""
+        if self.counters.writes == 0:
+            return 0.0
+        return self.total_pulses / self.counters.writes
+
+    def effective_density_multiplier(self) -> float:
+        """Density gain from MLC encoding (bits stored per cell)."""
+        return float(self.bits_per_cell)

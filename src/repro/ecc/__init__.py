@@ -1,0 +1,39 @@
+"""Retention-aware error correction.
+
+Section 4: data in MRM is durable elsewhere or soft state, but "the
+system still needs to enforce integrity in order to guarantee
+correctness of computation ... a large block-based MRM interface means
+that there is scope for considering error correction techniques that
+operate on larger code words and have less overhead [8]".
+
+- :mod:`~repro.ecc.hamming` — a bit-exact extended-Hamming SEC-DED codec
+  (the (72, 64) code used on DDR/HBM today), implemented from scratch.
+- :mod:`~repro.ecc.bch` — analytic BCH-family codes: t-error-correcting
+  block codes with binomial block-failure probability.
+- :mod:`~repro.ecc.blockcodes` — the Dolinar block-size analysis [8]:
+  required overhead vs code-word size at fixed protection.
+- :mod:`~repro.ecc.policy` — retention-aware code selection: given the
+  decay model and the intended retention, pick the cheapest code that
+  keeps the uncorrectable-error rate under budget.
+"""
+
+from repro.ecc.hamming import DecodeStatus, HammingCodec
+from repro.ecc.bch import BCHCode, design_bch
+from repro.ecc.blockcodes import (
+    CodePoint,
+    overhead_vs_block_size,
+    required_correction_capability,
+)
+from repro.ecc.policy import ECCChoice, RetentionAwareECC
+
+__all__ = [
+    "BCHCode",
+    "CodePoint",
+    "DecodeStatus",
+    "ECCChoice",
+    "HammingCodec",
+    "RetentionAwareECC",
+    "design_bch",
+    "overhead_vs_block_size",
+    "required_correction_capability",
+]

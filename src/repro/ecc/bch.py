@@ -1,0 +1,111 @@
+"""Analytic BCH-family block codes.
+
+A binary BCH code over ``GF(2^m)`` has length ``n = 2^m - 1``, corrects
+``t`` errors, and needs at most ``m * t`` check bits.  We model the code
+analytically (capability + failure probability) rather than implementing
+the Berlekamp-Massey decoder: every experiment here needs rates and
+failure probabilities, not actual syndromes, and the analytic form is
+exact for bounded-distance decoding over a memoryless channel:
+
+    P(block fails) = P(more than t of n bits flip)
+                   = sum_{i=t+1}^{n} C(n, i) p^i (1-p)^(n-i)
+
+computed via the regularized incomplete beta function (scipy) for
+numerical stability at tiny probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import special
+
+
+@dataclass(frozen=True)
+class BCHCode:
+    """A (shortened) binary BCH code.
+
+    Attributes
+    ----------
+    n:
+        Codeword length in bits (may be shortened below 2^m - 1).
+    k:
+        Data bits.
+    t:
+        Correctable errors per codeword.
+    """
+
+    n: int
+    k: int
+    t: int
+
+    def __post_init__(self) -> None:
+        if self.n < 3 or self.k < 1 or self.t < 0:
+            raise ValueError("bad code parameters")
+        if self.k >= self.n and self.t > 0:
+            raise ValueError("a correcting code needs check bits (k < n)")
+
+    @property
+    def check_bits(self) -> int:
+        return self.n - self.k
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    @property
+    def overhead(self) -> float:
+        """Redundancy fraction of the stored bits."""
+        return self.check_bits / self.n
+
+    def block_failure_probability(self, rber: float) -> float:
+        """P(more than t raw errors in the codeword) at bit-error rate
+        ``rber`` — the bounded-distance decoding failure probability.
+
+        Uses the survival function of the binomial via the regularized
+        incomplete beta function: ``P(X > t) = I_p(t+1, n-t)``.
+        """
+        if not 0.0 <= rber <= 1.0:
+            raise ValueError("rber outside [0, 1]")
+        if rber == 0.0:
+            return 0.0
+        if rber == 1.0:
+            return 1.0 if self.t < self.n else 0.0
+        return float(special.betainc(self.t + 1, self.n - self.t, rber))
+
+    def uncorrectable_bit_error_rate(self, rber: float) -> float:
+        """Post-ECC bit error rate (UBER): block failures spread over the
+        block's data bits, with ~t+1 wrong bits per failed block."""
+        p_block = self.block_failure_probability(rber)
+        return p_block * (self.t + 1) / self.k
+
+
+def design_bch(
+    block_bits: int, rber: float, target_block_failure: float = 1e-15, max_t: int = 1024
+) -> BCHCode:
+    """Smallest-``t`` BCH code protecting ``block_bits`` of data.
+
+    The field size ``m`` is chosen as the smallest with
+    ``2^m - 1 >= block_bits + m*t`` (shortened codes allowed); ``t`` is
+    the minimum meeting ``target_block_failure`` at the given ``rber``.
+
+    Raises ``ValueError`` if even ``max_t`` cannot meet the target —
+    the caller's signal that the data must be refreshed sooner (read at a
+    younger age) instead of protected harder.
+    """
+    if block_bits < 1:
+        raise ValueError("block must have at least one bit")
+    if not 0.0 < target_block_failure < 1.0:
+        raise ValueError("target must be a probability in (0, 1)")
+    for t in range(0, max_t + 1):
+        m = 1
+        while (1 << m) - 1 < block_bits + m * t:
+            m += 1
+        n = block_bits + m * t
+        code = BCHCode(n=n, k=block_bits, t=t)
+        if code.block_failure_probability(rber) <= target_block_failure:
+            return code
+    raise ValueError(
+        f"no BCH code with t <= {max_t} meets {target_block_failure:g} "
+        f"at RBER {rber:g} for {block_bits}-bit blocks"
+    )

@@ -1,0 +1,144 @@
+"""Extended Hamming SEC-DED codec, bit-exact.
+
+This is the code memory systems actually ship — e.g. (72, 64) on DDR
+DIMMs and HBM's on-die ECC [55]: single-error correction plus
+double-error detection via an overall parity bit.
+
+The implementation is from scratch over plain integers:
+
+- codeword bit positions are 1-indexed; parity bits sit at powers of
+  two; data bits fill the rest;
+- the syndrome is the XOR of the (1-indexed) positions of set bits, so
+  a single flipped bit's syndrome *is* its position;
+- an extra overall-parity bit (position 0) separates single errors
+  (correctable) from double errors (detectable only).
+
+Used in tests as ground truth for the analytic models, and by the
+retention-aware policy as the cheap end of the code menu.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class DecodeStatus(enum.Enum):
+    OK = "ok"  # clean codeword
+    CORRECTED = "corrected"  # single error fixed
+    DETECTED = "detected-uncorrectable"  # double error detected
+    PARITY_FIXED = "overall-parity-fixed"  # error was in the parity bit
+
+
+def _parity_bits_needed(data_bits: int) -> int:
+    r = 1
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    return r
+
+
+class HammingCodec:
+    """Extended Hamming code over ``data_bits``-bit words.
+
+    ``HammingCodec(64)`` is the classic (72, 64) SEC-DED code:
+    64 data bits + 7 Hamming parity bits + 1 overall parity bit.
+    """
+
+    def __init__(self, data_bits: int = 64) -> None:
+        if data_bits < 1:
+            raise ValueError("data_bits must be >= 1")
+        self.data_bits = data_bits
+        self.parity_bits = _parity_bits_needed(data_bits)
+        # positions 1..n, parity at powers of two, data elsewhere
+        self.n = data_bits + self.parity_bits
+        self.codeword_bits = self.n + 1  # + overall parity at position 0
+        self._data_positions = [
+            pos
+            for pos in range(1, self.n + 1)
+            if pos & (pos - 1) != 0  # not a power of two
+        ]
+        assert len(self._data_positions) == data_bits
+
+    @property
+    def overhead(self) -> float:
+        """Redundancy fraction: check bits / codeword bits."""
+        return (self.codeword_bits - self.data_bits) / self.codeword_bits
+
+    # ------------------------------------------------------------------
+    # Encode
+    # ------------------------------------------------------------------
+    def encode(self, data: int) -> int:
+        """Encode ``data`` (``data_bits`` wide) into a codeword int.
+
+        Bit ``i`` of the returned int is codeword position ``i``
+        (position 0 = overall parity).
+        """
+        if data < 0 or data >= (1 << self.data_bits):
+            raise ValueError(f"data out of range for {self.data_bits} bits")
+        word = 0
+        for i, pos in enumerate(self._data_positions):
+            if (data >> i) & 1:
+                word |= 1 << pos
+        # Hamming parity bits: parity bit at position 2^j covers all
+        # positions with bit j set.
+        for j in range(self.parity_bits):
+            parity = 0
+            mask = 1 << j
+            for pos in range(1, self.n + 1):
+                if pos & mask and (word >> pos) & 1:
+                    parity ^= 1
+            if parity:
+                word |= 1 << (1 << j)
+        # Overall parity over positions 1..n.
+        overall = bin(word >> 1).count("1") & 1
+        if overall:
+            word |= 1
+        return word
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def decode(self, word: int) -> Tuple[int, DecodeStatus]:
+        """Decode a (possibly corrupted) codeword.
+
+        Returns ``(data, status)``.  On ``DETECTED`` the data is the
+        best-effort extraction and must not be trusted.
+        """
+        if word < 0 or word >= (1 << self.codeword_bits):
+            raise ValueError("codeword out of range")
+        syndrome = 0
+        for pos in range(1, self.n + 1):
+            if (word >> pos) & 1:
+                syndrome ^= pos
+        overall = bin(word).count("1") & 1  # includes position 0
+        if syndrome == 0 and overall == 0:
+            return self._extract(word), DecodeStatus.OK
+        if syndrome == 0 and overall == 1:
+            # The overall parity bit itself flipped.
+            return self._extract(word), DecodeStatus.PARITY_FIXED
+        if overall == 1:
+            # Odd number of flips with a nonzero syndrome: single error.
+            if syndrome <= self.n:
+                word ^= 1 << syndrome
+            return self._extract(word), DecodeStatus.CORRECTED
+        # Nonzero syndrome with even parity: double error.
+        return self._extract(word), DecodeStatus.DETECTED
+
+    def _extract(self, word: int) -> int:
+        data = 0
+        for i, pos in enumerate(self._data_positions):
+            if (word >> pos) & 1:
+                data |= 1 << i
+        return data
+
+    # ------------------------------------------------------------------
+    # Analytic failure probability (for cross-checking with bch/blockcodes)
+    # ------------------------------------------------------------------
+    def uncorrectable_probability(self, rber: float) -> float:
+        """Probability a codeword suffers >= 2 raw bit errors."""
+        if not 0.0 <= rber <= 1.0:
+            raise ValueError("rber outside [0, 1]")
+        n = self.codeword_bits
+        p_ok = (1.0 - rber) ** n
+        p_one = n * rber * (1.0 - rber) ** (n - 1)
+        return max(0.0, 1.0 - p_ok - p_one)

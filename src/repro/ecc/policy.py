@@ -1,0 +1,118 @@
+"""Retention-aware ECC policy.
+
+The decision Section 4 poses: data written with retention ``r`` will be
+read at ages up to ``r`` with a RBER that grows with age
+(:class:`~repro.core.errors.RetentionErrorModel`).  The code must keep
+the uncorrectable rate under budget *at the worst read age* — so code
+strength and retention are two halves of one knob:
+
+- program longer retention -> lower RBER at read time -> weaker/cheaper
+  code, but costlier writes;
+- program shorter retention -> cheaper writes, but stronger code (or an
+  earlier refresh deadline).
+
+:class:`RetentionAwareECC` picks the cheapest BCH code for a given
+(retention, max read age) pair and exposes the induced refresh deadline
+when a fixed code is used instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import RetentionErrorModel
+from repro.ecc.bch import BCHCode, design_bch
+
+
+@dataclass(frozen=True)
+class ECCChoice:
+    """The selected code plus its operating point."""
+
+    code: BCHCode
+    spec_retention_s: float
+    worst_read_age_s: float
+    worst_rber: float
+    target_block_failure: float
+
+    @property
+    def overhead(self) -> float:
+        return self.code.overhead
+
+    @property
+    def achieved_block_failure(self) -> float:
+        return self.code.block_failure_probability(self.worst_rber)
+
+
+class RetentionAwareECC:
+    """Code selection bound to a retention error model.
+
+    Parameters
+    ----------
+    error_model:
+        Decay model (spec retention -> RBER(age)).
+    block_data_bits:
+        Code-word data size.  MRM's block interface allows large values
+        (e.g. 4096+); HBM-style on-die ECC is stuck near 64-256.
+    target_block_failure:
+        Uncorrectable budget per code word per read.
+    """
+
+    def __init__(
+        self,
+        error_model: Optional[RetentionErrorModel] = None,
+        block_data_bits: int = 4096,
+        target_block_failure: float = 1e-15,
+    ) -> None:
+        if block_data_bits < 8:
+            raise ValueError("block must be at least one byte")
+        self.error_model = error_model or RetentionErrorModel()
+        self.block_data_bits = block_data_bits
+        self.target_block_failure = target_block_failure
+
+    def choose(
+        self, spec_retention_s: float, worst_read_age_s: Optional[float] = None
+    ) -> ECCChoice:
+        """Pick the cheapest code safe up to ``worst_read_age_s``
+        (default: the full spec retention — data read right before its
+        deadline)."""
+        if worst_read_age_s is None:
+            worst_read_age_s = spec_retention_s
+        if worst_read_age_s < 0:
+            raise ValueError("read age must be >= 0")
+        rber = self.error_model.rber(worst_read_age_s, spec_retention_s)
+        code = design_bch(self.block_data_bits, rber, self.target_block_failure)
+        return ECCChoice(
+            code=code,
+            spec_retention_s=spec_retention_s,
+            worst_read_age_s=worst_read_age_s,
+            worst_rber=rber,
+            target_block_failure=self.target_block_failure,
+        )
+
+    def refresh_deadline_for_code(
+        self, code: BCHCode, spec_retention_s: float
+    ) -> float:
+        """Given a *fixed* code, the age at which data must be refreshed:
+        the age where RBER reaches the code's correctable limit.
+
+        Solved by bisection on the monotone RBER(age) curve.
+        """
+        target = self.target_block_failure
+
+        def fails(age: float) -> bool:
+            rber = self.error_model.rber(age, spec_retention_s)
+            return code.block_failure_probability(rber) > target
+
+        if not fails(spec_retention_s):
+            return spec_retention_s  # code outlives the retention spec
+        lo, hi = 0.0, spec_retention_s
+        if fails(lo):
+            return 0.0  # code too weak even for fresh data
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            if fails(mid):
+                hi = mid
+            else:
+                lo = mid
+        return lo

@@ -1,0 +1,67 @@
+"""Device lifetime under sustained writes.
+
+The inverse view of Figure 1: instead of "how much endurance does the
+workload need", "how long does a given device survive the workload".
+Used by E12 (Flash inadequacy: an SLC pool burns out in months under the
+KV stream) and by tiering policies weighing MRM wear budgets.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import TechnologyProfile
+from repro.units import DAY, YEAR
+
+
+def device_lifetime_s(
+    profile: TechnologyProfile,
+    capacity_bytes: int,
+    write_rate_bytes_per_s: float,
+    write_amplification: float = 1.0,
+    wear_leveling_efficiency: float = 1.0,
+) -> float:
+    """Seconds until the device's rated endurance is consumed.
+
+    ``lifetime = endurance * capacity * efficiency / (rate * WA)``:
+    ideal wear-leveling spreads writes over all cells
+    (``efficiency=1``); skewed wear shortens life proportionally.
+    """
+    if capacity_bytes <= 0 or write_rate_bytes_per_s <= 0:
+        raise ValueError("capacity and write rate must be positive")
+    if write_amplification < 1.0:
+        raise ValueError("write amplification is >= 1 by definition")
+    if not 0.0 < wear_leveling_efficiency <= 1.0:
+        raise ValueError("wear-leveling efficiency must be in (0, 1]")
+    total_writable = (
+        profile.endurance_cycles * capacity_bytes * wear_leveling_efficiency
+    )
+    return total_writable / (write_rate_bytes_per_s * write_amplification)
+
+
+def sustainable_write_rate(
+    profile: TechnologyProfile,
+    capacity_bytes: int,
+    target_lifetime_s: float = 5 * YEAR,
+    write_amplification: float = 1.0,
+) -> float:
+    """Max bytes/s the device can absorb and still last the target."""
+    if target_lifetime_s <= 0:
+        raise ValueError("lifetime must be positive")
+    if write_amplification < 1.0:
+        raise ValueError("write amplification is >= 1 by definition")
+    return (
+        profile.endurance_cycles
+        * capacity_bytes
+        / (target_lifetime_s * write_amplification)
+    )
+
+
+def drive_writes_per_day(
+    profile: TechnologyProfile,
+    write_rate_bytes_per_s: float,
+    capacity_bytes: int,
+) -> float:
+    """The storage-industry DWPD figure for a given write stream."""
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    daily_bytes = write_rate_bytes_per_s * DAY
+    return daily_bytes / capacity_bytes

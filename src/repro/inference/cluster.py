@@ -1,0 +1,262 @@
+"""Multi-accelerator inference cluster.
+
+"Each inference query ... requires distributed computation across
+multiple AI accelerators.  At any given time, many inference requests
+are multiplexed over the same cluster, but all of them are for the same
+model" (Section 2).
+
+:class:`Cluster` runs N :class:`~repro.inference.engine.InferenceEngine`
+instances over one simulator, dispatches an arrival stream across them
+(join-shortest-queue), and aggregates metrics into a
+:class:`ClusterReport` — the object every cluster-level experiment
+consumes.
+
+The per-engine model share is handled by scaling: each engine is given
+the whole model and a full accelerator; tensor-parallel groups are
+modeled as one logical engine with the group's aggregate FLOPs/bandwidth
+(build such a config with :func:`tensor_parallel_group`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.inference.accelerator import AcceleratorConfig, MemoryTierSpec
+from repro.inference.engine import InferenceEngine
+from repro.sim import Simulator
+from repro.workload.model import ModelConfig
+from repro.workload.requests import InferenceRequest, SLAClass
+
+
+def tensor_parallel_group(
+    accelerator: AcceleratorConfig, group_size: int
+) -> AcceleratorConfig:
+    """Aggregate ``group_size`` accelerators into one logical engine.
+
+    FLOPs, tier capacities and bandwidths sum; per-device efficiency
+    factors stay (collective-communication overheads are inside
+    ``compute_efficiency``).  This mirrors how a TP group serves one
+    model replica.
+    """
+    if group_size < 1:
+        raise ValueError("group size must be >= 1")
+    tiers = tuple(
+        MemoryTierSpec(
+            name=tier.name,
+            capacity_bytes=tier.capacity_bytes * group_size,
+            read_bandwidth=tier.read_bandwidth * group_size,
+            write_bandwidth=tier.write_bandwidth * group_size,
+            profile=tier.profile,
+        )
+        for tier in accelerator.tiers
+    )
+    return replace(
+        accelerator,
+        name=f"{accelerator.name}-tp{group_size}",
+        peak_flops=accelerator.peak_flops * group_size,
+        tiers=tiers,
+        board_power_w=accelerator.board_power_w * group_size,
+    )
+
+
+#: Default latency SLOs per class: (max TTFT seconds, max mean TBT seconds).
+#: Interactive = user-in-the-loop chat; throughput = batch API calls;
+#: best-effort = background jobs (unbounded).
+DEFAULT_SLA_THRESHOLDS = {
+    SLAClass.INTERACTIVE: (1.0, 0.05),
+    SLAClass.THROUGHPUT: (10.0, 0.5),
+    SLAClass.BEST_EFFORT: (float("inf"), float("inf")),
+}
+
+
+@dataclass
+class ClusterReport:
+    """Aggregated results of one cluster run."""
+
+    engines: int
+    duration_s: float
+    requests_completed: int
+    tokens_generated: int
+    throughput_tokens_per_s: float
+    ttft_p50_s: float
+    ttft_p99_s: float
+    tbt_p50_s: float
+    tbt_p99_s: float
+    memory_bound_fraction: float
+    tier_bytes_read: Dict[str, float]
+    tier_bytes_written: Dict[str, float]
+    access_energy_j: float
+    board_energy_j: float
+    #: Per SLA class: fraction of completed requests meeting their SLO
+    #: (Section 4: "some use cases have tight latency SLAs").
+    sla_attainment: Dict[SLAClass, float] = None
+
+    @property
+    def tokens_per_joule(self) -> float:
+        total = self.access_energy_j + self.board_energy_j
+        if total == 0:
+            return 0.0
+        return self.tokens_generated / total
+
+
+class Cluster:
+    """N engines + a join-shortest-queue dispatcher."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        accelerator: AcceleratorConfig,
+        model: ModelConfig,
+        num_engines: int = 1,
+        placement: Optional[Mapping[str, str]] = None,
+        max_batch_size: int = 16,
+        enable_prefix_sharing: bool = False,
+    ) -> None:
+        if num_engines < 1:
+            raise ValueError("need at least one engine")
+        self.sim = sim
+        self.accelerator = accelerator
+        self.model = model
+        self.engines: List[InferenceEngine] = [
+            InferenceEngine(
+                sim,
+                accelerator,
+                model,
+                placement=placement,
+                max_batch_size=max_batch_size,
+                enable_prefix_sharing=enable_prefix_sharing,
+                name=f"engine-{i}",
+            )
+            for i in range(num_engines)
+        ]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _least_loaded(self) -> InferenceEngine:
+        return min(
+            self.engines,
+            key=lambda e: (
+                e.scheduler.pending_count + e.scheduler.batch_size,
+                e.name,
+            ),
+        )
+
+    def submit_stream(self, requests: Iterable[InferenceRequest]) -> int:
+        """Schedule every request's arrival; returns the count."""
+        count = 0
+        for request in requests:
+            self.sim.schedule_at(
+                request.arrival_time,
+                lambda _ev, r=request: self._least_loaded().submit(r),
+                name=f"arrival-{request.request_id}",
+            )
+            count += 1
+        return count
+
+    def run(self, requests: Iterable[InferenceRequest]) -> ClusterReport:
+        """Run the full stream to completion and report."""
+        submitted = self.submit_stream(requests)
+        last_arrival = self.sim.pending_events()
+        # Drain once all arrivals have been delivered: schedule the drain
+        # after the furthest arrival by running the event loop in stages.
+        self.sim.run()
+        for engine in self.engines:
+            engine.drain()
+        self.sim.run()
+        incomplete = submitted - sum(
+            int(e.metrics.counter("requests_completed").value)
+            for e in self.engines
+        )
+        if incomplete:
+            raise RuntimeError(f"{incomplete} requests never completed")
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> ClusterReport:
+        summaries = [e.summarize() for e in self.engines]
+        duration = self.sim.now
+        tokens = sum(s.tokens_generated for s in summaries)
+        requests = sum(s.requests_completed for s in summaries)
+        tier_reads: Dict[str, float] = {}
+        tier_writes: Dict[str, float] = {}
+        for summary in summaries:
+            for tier, value in summary.tier_bytes_read.items():
+                tier_reads[tier] = tier_reads.get(tier, 0.0) + value
+            for tier, value in summary.tier_bytes_written.items():
+                tier_writes[tier] = tier_writes.get(tier, 0.0) + value
+        memory_steps = sum(s.memory_bound_steps for s in summaries)
+        compute_steps = sum(s.compute_bound_steps for s in summaries)
+        total_steps = memory_steps + compute_steps
+
+        def merged_quantile(metric: str, q: float) -> float:
+            values: List[float] = []
+            for engine in self.engines:
+                hist = engine.metrics.histogram(metric)
+                values.extend(hist._ensure_sorted())
+            if not values:
+                return float("nan")
+            values.sort()
+            pos = q * (len(values) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(values) - 1)
+            frac = pos - lo
+            return values[lo] * (1 - frac) + values[hi] * frac
+
+        board_energy = sum(
+            self.accelerator.board_power_w * s.busy_time_s for s in summaries
+        )
+        sla_attainment = self._sla_attainment()
+        return ClusterReport(
+            engines=len(self.engines),
+            duration_s=duration,
+            requests_completed=requests,
+            tokens_generated=tokens,
+            throughput_tokens_per_s=(tokens / duration if duration > 0 else 0.0),
+            ttft_p50_s=merged_quantile("ttft_s", 0.5),
+            ttft_p99_s=merged_quantile("ttft_s", 0.99),
+            tbt_p50_s=merged_quantile("tbt_s", 0.5),
+            tbt_p99_s=merged_quantile("tbt_s", 0.99),
+            memory_bound_fraction=(
+                memory_steps / total_steps if total_steps else 0.0
+            ),
+            tier_bytes_read=tier_reads,
+            tier_bytes_written=tier_writes,
+            access_energy_j=sum(s.access_energy_j for s in summaries),
+            board_energy_j=board_energy,
+            sla_attainment=sla_attainment,
+        )
+
+    def _sla_attainment(
+        self, thresholds: Optional[Dict[SLAClass, tuple]] = None
+    ) -> Dict[SLAClass, float]:
+        """Fraction of completed requests meeting their class SLO.
+
+        TTFT is measured from arrival to first token; the time-between-
+        tokens figure is the request's mean (finish - first token) /
+        (output tokens - 1).
+        """
+        thresholds = thresholds or DEFAULT_SLA_THRESHOLDS
+        met: Dict[SLAClass, int] = {}
+        total: Dict[SLAClass, int] = {}
+        for engine in self.engines:
+            for context in engine.completed:
+                request = context.request
+                sla = request.sla
+                total[sla] = total.get(sla, 0) + 1
+                ttft_limit, tbt_limit = thresholds[sla]
+                ttft = context.first_token_at - request.arrival_time
+                if request.output_tokens > 1:
+                    mean_tbt = (context.finished_at - context.first_token_at) / (
+                        request.output_tokens - 1
+                    )
+                else:
+                    mean_tbt = 0.0
+                if ttft <= ttft_limit and mean_tbt <= tbt_limit:
+                    met[sla] = met.get(sla, 0) + 1
+        return {
+            sla: met.get(sla, 0) / count for sla, count in total.items()
+        }

@@ -1,0 +1,309 @@
+"""One accelerator's serving loop, as a discrete-event process.
+
+:class:`InferenceEngine` glues the pieces together: requests arrive, the
+batch scheduler admits them against free KV pages, prefill runs (one
+request at a time, compute-bound), then continuous decode iterations run
+the whole batch; each iteration's duration comes from the roofline with
+bytes routed to tiers per the *placement map* — the knob the tiering
+experiments turn:
+
+    placement = {"weights": "hbm", "kv": "hbm", "activations": "hbm"}
+    placement = {"weights": "mrm", "kv": "mrm", "activations": "hbm"}
+
+Recorded per engine: TTFT and time-between-tokens histograms, token
+throughput, per-tier/per-structure byte traffic, access energy, and the
+memory-vs-compute-bound step tally (experiment E4's numerator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Mapping, Optional
+
+from repro.inference.accelerator import AcceleratorConfig
+from repro.inference.batching import BatchScheduler, RunningContext
+from repro.inference.kvcache import KVCacheManager
+from repro.inference.roofline import Boundedness, RooflineModel
+from repro.sim import Histogram, MetricRegistry, Simulator, Timeout
+from repro.workload.model import ModelConfig
+from repro.workload.phases import (
+    decode_step_traffic_batch,
+    prefill_traffic,
+)
+from repro.workload.requests import InferenceRequest
+
+DEFAULT_PLACEMENT = {"weights": "hbm", "kv": "hbm", "activations": "hbm"}
+
+
+def _accumulate(*pairs) -> Dict[str, float]:
+    """Sum (tier, bytes) pairs into a dict — two structures on the same
+    tier must add their traffic, not overwrite each other."""
+    out: Dict[str, float] = {}
+    for tier, value in pairs:
+        out[tier] = out.get(tier, 0.0) + value
+    return out
+
+
+@dataclass
+class EngineMetrics:
+    """Summary view of one engine's run (extracted from the registry)."""
+
+    requests_completed: int
+    tokens_generated: int
+    ttft_p50_s: float
+    ttft_p99_s: float
+    tbt_p50_s: float
+    tbt_p99_s: float
+    memory_bound_steps: int
+    compute_bound_steps: int
+    tier_bytes_read: Dict[str, float]
+    tier_bytes_written: Dict[str, float]
+    access_energy_j: float
+    busy_time_s: float
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        total = self.memory_bound_steps + self.compute_bound_steps
+        if total == 0:
+            return 0.0
+        return self.memory_bound_steps / total
+
+
+class InferenceEngine:
+    """Serving loop for one accelerator.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator.
+    accelerator / model:
+        Hardware and model configs.
+    placement:
+        Structure -> tier-name map ("weights", "kv", "activations").
+    kv_capacity_bytes:
+        KV pool size.  Defaults to the KV tier's capacity minus the
+        weights (when they share a tier) and an activations reserve.
+    max_batch_size / tokens_per_page:
+        Batching and paging knobs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        accelerator: AcceleratorConfig,
+        model: ModelConfig,
+        placement: Optional[Mapping[str, str]] = None,
+        kv_capacity_bytes: Optional[int] = None,
+        max_batch_size: int = 16,
+        tokens_per_page: int = 16,
+        enable_prefix_sharing: bool = False,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.accelerator = accelerator
+        self.model = model
+        self.placement = dict(DEFAULT_PLACEMENT, **(placement or {}))
+        for structure, tier in self.placement.items():
+            accelerator.tier(tier)  # raises KeyError on bad placement
+        self.name = name or f"engine-{accelerator.name}"
+        self.roofline = RooflineModel(accelerator)
+        kv_tier = accelerator.tier(self.placement["kv"])
+        if kv_capacity_bytes is None:
+            reserved = 0
+            if self.placement["weights"] == self.placement["kv"]:
+                reserved += model.weights_bytes
+            if self.placement["activations"] == self.placement["kv"]:
+                reserved += model.activation_bytes(max_batch_size)
+            kv_capacity_bytes = kv_tier.capacity_bytes - reserved
+        if kv_capacity_bytes <= 0:
+            raise ValueError(
+                f"{self.name}: no KV capacity left on tier {kv_tier.name!r} "
+                f"after weights/activations reservation"
+            )
+        self.kv = KVCacheManager(
+            model,
+            kv_capacity_bytes,
+            tokens_per_page=tokens_per_page,
+            enable_prefix_sharing=enable_prefix_sharing,
+        )
+        self.scheduler = BatchScheduler(self.kv, max_batch_size=max_batch_size)
+        self.metrics = MetricRegistry()
+        self.completed: List[RunningContext] = []
+        self._wakeup = sim.event(name=f"{self.name}-wakeup")
+        self._process = sim.spawn(self._serve_loop(), name=self.name)
+        self._busy_time = 0.0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # External interface
+    # ------------------------------------------------------------------
+    def submit(self, request: InferenceRequest) -> None:
+        """Hand a request to this engine (at the current simulated time)."""
+        self.scheduler.enqueue(request)
+        self._wake()
+
+    def drain(self) -> None:
+        """No more submissions: the loop exits once work completes."""
+        self._draining = True
+        self._wake()
+
+    def _wake(self) -> None:
+        if not self._wakeup.fired and not self._wakeup.scheduled:
+            self.sim.trigger(self._wakeup)
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> Generator:
+        while True:
+            if not self.scheduler.has_work():
+                if self._draining:
+                    return
+                # Wait on the current wakeup event (the one _wake fires),
+                # then replace it so the next wait gets a fresh one.
+                yield self._wakeup
+                self._wakeup = self.sim.event(name=f"{self.name}-wakeup")
+                continue
+            # 1. Admit + prefill (one request per pass keeps TTFT fair).
+            request = self.scheduler.try_admit()
+            if request is not None:
+                yield from self._run_prefill(request)
+                continue
+            # 2. Decode one iteration for the running batch.
+            batch = self.scheduler.decode_batch()
+            if batch:
+                yield from self._run_decode_iteration(batch)
+                continue
+            # Nothing runnable: pending requests exist but don't fit.
+            if self.scheduler.running:
+                # In-flight prefill contexts will finish via their yields.
+                yield Timeout(1e-3)
+            else:
+                if self._draining and self.scheduler.pending_count == 0:
+                    return
+                # Pending-but-unadmittable with nothing running means the
+                # pool is too small for the request: fail loudly rather
+                # than spin forever.
+                raise RuntimeError(
+                    f"{self.name}: {self.scheduler.pending_count} pending "
+                    f"requests cannot ever be admitted (KV pool too small)"
+                )
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _run_prefill(self, request: InferenceRequest) -> Generator:
+        context = self.scheduler.start(request)
+        _allocated, shared_tokens = self.kv.register(
+            context.context_id,
+            request.prompt_tokens,
+            prefix_key=request.prefix_key,
+        )
+        if shared_tokens:
+            self.metrics.counter("prefix_tokens_shared").add(shared_tokens)
+        # Multi-turn follow-up: history KV already resident, prefill only
+        # the new turn's tokens.
+        new_tokens = request.prompt_tokens - request.cached_prompt_tokens
+        self.metrics.counter("cached_prompt_tokens").add(
+            request.cached_prompt_tokens
+        )
+        traffic = prefill_traffic(self.model, new_tokens)
+        timing = self.roofline.time_step(
+            traffic.flops,
+            {self.placement["weights"]: traffic.bytes_read_weights},
+            {self.placement["kv"]: traffic.bytes_written_kv},
+        )
+        self._account_step(traffic, timing)
+        yield Timeout(timing.duration_s)
+        now = self.sim.now
+        context.prefill_done_at = now
+        self.metrics.histogram("queue_delay_s").observe(
+            now - timing.duration_s - request.arrival_time
+        )
+
+    def _run_decode_iteration(self, batch: List[RunningContext]) -> Generator:
+        lengths = [c.context_tokens for c in batch]
+        traffic = decode_step_traffic_batch(self.model, lengths)
+        reads = _accumulate(
+            (self.placement["weights"], traffic.bytes_read_weights),
+            (self.placement["kv"], traffic.bytes_read_kv),
+        )
+        timing = self.roofline.time_step(
+            traffic.flops,
+            reads,
+            {self.placement["kv"]: traffic.bytes_written_kv},
+        )
+        self._account_step(traffic, timing)
+        yield Timeout(timing.duration_s)
+        now = self.sim.now
+        for context in batch:
+            self.kv.append(context.context_id, 1)
+            context.generated += 1
+            if context.first_token_at is None:
+                context.first_token_at = now
+                self.metrics.histogram("ttft_s").observe(
+                    now - context.request.arrival_time
+                )
+            self.metrics.histogram("tbt_s").observe(timing.duration_s)
+            self.metrics.counter("tokens_generated").add(1)
+            if context.done:
+                context.finished_at = now
+                self.kv.release(context.context_id)
+                self.scheduler.finish(context.context_id)
+                self.completed.append(context)
+                self.metrics.counter("requests_completed").add(1)
+                self.metrics.histogram("request_latency_s").observe(
+                    now - context.request.arrival_time
+                )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _account_step(self, traffic, timing) -> None:
+        m = self.metrics
+        self._busy_time += timing.duration_s
+        if timing.boundedness is Boundedness.MEMORY:
+            m.counter("memory_bound_steps").add(1)
+        else:
+            m.counter("compute_bound_steps").add(1)
+        routes = [
+            ("weights", traffic.bytes_read_weights, 0.0),
+            ("kv", traffic.bytes_read_kv, traffic.bytes_written_kv),
+        ]
+        for structure, read, written in routes:
+            tier_name = self.placement[structure]
+            tier = self.accelerator.tier(tier_name)
+            m.counter(f"bytes_read:{tier_name}").add(read)
+            m.counter(f"bytes_written:{tier_name}").add(written)
+            m.counter(f"bytes_read:{structure}").add(read)
+            m.counter(f"bytes_written:{structure}").add(written)
+            m.counter("access_energy_j").add(
+                tier.read_energy_j(read) + tier.write_energy_j(written)
+            )
+
+    def summarize(self) -> EngineMetrics:
+        """Snapshot the run into an :class:`EngineMetrics`."""
+        m = self.metrics
+
+        def hist(name: str) -> Histogram:
+            return m.histogram(name)
+
+        tier_reads: Dict[str, float] = {}
+        tier_writes: Dict[str, float] = {}
+        for tier in self.accelerator.tiers:
+            tier_reads[tier.name] = m.counter(f"bytes_read:{tier.name}").value
+            tier_writes[tier.name] = m.counter(f"bytes_written:{tier.name}").value
+        return EngineMetrics(
+            requests_completed=int(m.counter("requests_completed").value),
+            tokens_generated=int(m.counter("tokens_generated").value),
+            ttft_p50_s=hist("ttft_s").quantile(0.5),
+            ttft_p99_s=hist("ttft_s").quantile(0.99),
+            tbt_p50_s=hist("tbt_s").quantile(0.5),
+            tbt_p99_s=hist("tbt_s").quantile(0.99),
+            memory_bound_steps=int(m.counter("memory_bound_steps").value),
+            compute_bound_steps=int(m.counter("compute_bound_steps").value),
+            tier_bytes_read=tier_reads,
+            tier_bytes_written=tier_writes,
+            access_energy_j=m.counter("access_energy_j").value,
+            busy_time_s=self._busy_time,
+        )

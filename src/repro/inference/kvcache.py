@@ -1,0 +1,177 @@
+"""Per-context KV-cache management over the paged allocator.
+
+:class:`KVCacheManager` owns one memory tier's KV pool and the page
+tables of every live context on it.  It provides:
+
+- admission sizing (can a prompt of N tokens fit right now?);
+- append accounting as contexts decode;
+- prefix sharing [54]: identical prompt prefixes map the same physical
+  pages (reference-counted in the allocator);
+- occupancy/fragmentation statistics, the memory-pressure signals the
+  batch scheduler and tiering policies act on.
+
+The manager tracks bytes, not tensors — consistent with the library-wide
+"sized, not computed" rule (DESIGN.md non-goals).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.inference.paging import OutOfPages, PagedAllocator, PageTable
+from repro.workload.model import ModelConfig
+
+
+class KVCacheManager:
+    """KV-cache pool of one memory tier.
+
+    Parameters
+    ----------
+    model:
+        Sizing (bytes per token vector).
+    capacity_bytes:
+        Tier bytes reserved for KV cache.
+    tokens_per_page:
+        Vectors per page.  Default 16 gives multi-MiB pages for 70B-class
+        models, matching the paper's "each page is typically over 10
+        vectors".
+    enable_prefix_sharing:
+        If True, contexts registered with a matching prompt prefix key
+        share physical pages.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        capacity_bytes: int,
+        tokens_per_page: int = 16,
+        enable_prefix_sharing: bool = False,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if tokens_per_page < 1:
+            raise ValueError("tokens_per_page must be >= 1")
+        self.model = model
+        self.tokens_per_page = tokens_per_page
+        self.page_bytes = model.kv_bytes_per_token * tokens_per_page
+        total_pages = capacity_bytes // self.page_bytes
+        if total_pages < 1:
+            raise ValueError(
+                f"capacity {capacity_bytes} below one page ({self.page_bytes})"
+            )
+        self.allocator = PagedAllocator(total_pages, self.page_bytes)
+        self.enable_prefix_sharing = enable_prefix_sharing
+        self._tables: Dict[int, PageTable] = {}
+        #: prefix key -> context id whose pages serve as the share source
+        self._prefix_index: Dict[str, int] = {}
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return self.allocator.total_pages * self.page_bytes
+
+    def free_bytes(self) -> int:
+        return self.allocator.free_pages * self.page_bytes
+
+    def used_bytes(self) -> int:
+        return self.allocator.used_pages * self.page_bytes
+
+    def utilization(self) -> float:
+        return self.allocator.utilization()
+
+    def pages_for_tokens(self, tokens: int) -> int:
+        if tokens < 0:
+            raise ValueError("token count must be >= 0")
+        return -(-tokens // self.tokens_per_page)
+
+    def can_admit(self, prompt_tokens: int, headroom_tokens: int = 0) -> bool:
+        """Would a new context with this prompt fit right now?"""
+        need = self.pages_for_tokens(prompt_tokens + headroom_tokens)
+        return need <= self.allocator.free_pages
+
+    # ------------------------------------------------------------------
+    # Context lifecycle
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        context_id: int,
+        prompt_tokens: int,
+        prefix_key: Optional[str] = None,
+    ) -> Tuple[int, int]:
+        """Create a context and allocate its prompt KV.
+
+        Returns ``(pages_allocated, tokens_served_from_shared_prefix)``.
+        With prefix sharing on and a known ``prefix_key``, the shared
+        whole pages are mapped instead of allocated.
+        """
+        if context_id in self._tables:
+            raise ValueError(f"context {context_id} already registered")
+        if prompt_tokens < 1:
+            raise ValueError("prompt must have at least one token")
+        table = PageTable(self.allocator, self.tokens_per_page)
+        shared_tokens = 0
+        if self.enable_prefix_sharing and prefix_key is not None:
+            source_id = self._prefix_index.get(prefix_key)
+            source = self._tables.get(source_id) if source_id is not None else None
+            if source is not None and source.tokens > 0:
+                sharable = min(prompt_tokens, source.tokens)
+                shared_pages = table.map_shared_prefix(source, sharable)
+                shared_tokens = shared_pages * self.tokens_per_page
+                self.prefix_hits += 1
+            else:
+                self._prefix_index[prefix_key] = context_id
+                self.prefix_misses += 1
+        remaining = prompt_tokens - shared_tokens
+        try:
+            allocated = table.append_tokens(remaining) if remaining > 0 else 0
+        except OutOfPages:
+            table.free()
+            raise
+        self._tables[context_id] = table
+        return allocated, shared_tokens
+
+    def append(self, context_id: int, tokens: int = 1) -> int:
+        """Record decode appends; returns pages newly allocated."""
+        return self._table(context_id).append_tokens(tokens)
+
+    def release(self, context_id: int) -> int:
+        """Free a finished context; returns pages released."""
+        table = self._tables.pop(context_id, None)
+        if table is None:
+            raise KeyError(f"context {context_id} is not registered")
+        stale = [k for k, v in self._prefix_index.items() if v == context_id]
+        for key in stale:
+            del self._prefix_index[key]
+        return table.free()
+
+    def _table(self, context_id: int) -> PageTable:
+        table = self._tables.get(context_id)
+        if table is None:
+            raise KeyError(f"context {context_id} is not registered")
+        return table
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def context_tokens(self, context_id: int) -> int:
+        return self._table(context_id).tokens
+
+    def context_bytes(self, context_id: int) -> int:
+        return self._table(context_id).tokens * self.model.kv_bytes_per_token
+
+    def live_contexts(self) -> List[int]:
+        return sorted(self._tables)
+
+    def total_fragmentation_bytes(self) -> int:
+        """Internal fragmentation across all live contexts — the waste
+        PagedAttention bounds to under one page per context [22]."""
+        return sum(t.fragmentation_bytes() for t in self._tables.values())
+
+    def read_bytes_for_step(self, context_id: int) -> int:
+        """Bytes a decode step reads for this context (the whole cache,
+        sequentially)."""
+        return self.context_bytes(context_id)

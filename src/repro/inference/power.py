@@ -1,0 +1,201 @@
+"""Power-aware serving: DVFS under a rack power cap.
+
+Section 4 lists "power-aware scheduling [46]" (TAPAS) among the OS
+mechanisms of the emerging rack-scale inference OS, and Section 2.1
+notes "the power density of the infrastructure is very high and
+continues to grow, increasing the need for every Watt to be spent on
+useful work".
+
+This module makes the interaction between power caps and memory
+technology quantitative:
+
+- :class:`PowerModel` — steady-state power of one serving machine:
+  compute die (idle + utilization-dependent dynamic, DVFS-scalable) plus
+  memory (access power from byte rates, refresh power from the tier's
+  technology);
+- :func:`best_frequency_under_cap` — the classic memory-bound DVFS
+  insight: decode barely uses the compute die, so clocking it down
+  costs little throughput while freeing real watts;
+- :func:`power_capped_throughput` — tokens/s attainable under a cap for
+  a given tier set.  MRM enters through the refresh term: a refresh-free
+  memory tier leaves more of the cap for useful work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.inference.accelerator import AcceleratorConfig
+from repro.inference.roofline import RooflineModel
+from repro.tiering.tiers import MemoryTier
+from repro.workload.model import ModelConfig
+from repro.workload.phases import decode_step_traffic
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Steady-state power of one serving machine.
+
+    Attributes
+    ----------
+    accelerator:
+        Compute configuration (board power = compute-die budget).
+    idle_fraction:
+        Fraction of board power drawn at zero utilization.
+    frequency_power_exponent:
+        Dynamic compute power scales as ``f**exponent`` under DVFS
+        (voltage scaling makes this ~2-3; 2.5 is a common fit).
+    """
+
+    accelerator: AcceleratorConfig
+    idle_fraction: float = 0.25
+    frequency_power_exponent: float = 2.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.idle_fraction < 1.0:
+            raise ValueError("idle fraction must be in [0, 1)")
+        if self.frequency_power_exponent < 1.0:
+            raise ValueError("power exponent must be >= 1")
+
+    def compute_power_w(self, utilization: float, frequency: float = 1.0) -> float:
+        """Compute-die power at a given utilization and DVFS point."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization in [0, 1]")
+        if not 0.0 < frequency <= 1.0:
+            raise ValueError("frequency in (0, 1]")
+        board = self.accelerator.board_power_w
+        idle = board * self.idle_fraction
+        dynamic = (
+            board
+            * (1.0 - self.idle_fraction)
+            * utilization
+            * frequency**self.frequency_power_exponent
+        )
+        return idle + dynamic
+
+    def memory_power_w(
+        self,
+        tiers: Sequence[MemoryTier],
+        read_rates: Sequence[float],
+        write_rates: Sequence[float],
+    ) -> float:
+        """Memory power: per-tier access power plus refresh power."""
+        if not (len(tiers) == len(read_rates) == len(write_rates)):
+            raise ValueError("one rate pair per tier")
+        total = 0.0
+        for tier, reads, writes in zip(tiers, read_rates, write_rates):
+            if reads < 0 or writes < 0:
+                raise ValueError("rates must be >= 0")
+            total += tier.read_energy_j(reads) + tier.write_energy_j(writes)
+            total += tier.refresh_power_w()
+        return total
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS solution under a power cap."""
+
+    frequency: float
+    tokens_per_s: float
+    compute_power_w: float
+    memory_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        return self.compute_power_w + self.memory_power_w
+
+    @property
+    def tokens_per_joule(self) -> float:
+        if self.total_power_w <= 0:
+            return 0.0
+        return self.tokens_per_s / self.total_power_w
+
+
+def _decode_throughput_at_frequency(
+    accelerator: AcceleratorConfig,
+    model: ModelConfig,
+    context_tokens: int,
+    batch_size: int,
+    frequency: float,
+    tier_name: str,
+) -> Tuple[float, float]:
+    """(tokens/s, compute utilization) of steady decode at a DVFS point."""
+    roofline = RooflineModel(accelerator)
+    traffic = decode_step_traffic(model, context_tokens, batch_size)
+    compute_time = traffic.flops / (accelerator.effective_flops * frequency)
+    tier = accelerator.tier(tier_name)
+    memory_time = (
+        traffic.bytes_read
+        / (tier.read_bandwidth * accelerator.bandwidth_efficiency)
+        + traffic.bytes_written
+        / (tier.write_bandwidth * accelerator.bandwidth_efficiency)
+    )
+    step = max(compute_time, memory_time)
+    utilization = compute_time / step
+    return batch_size / step, utilization
+
+
+def best_frequency_under_cap(
+    power_model: PowerModel,
+    model: ModelConfig,
+    tiers: Sequence[MemoryTier],
+    cap_w: float,
+    context_tokens: int = 2048,
+    batch_size: int = 16,
+    tier_name: str = "hbm",
+    frequencies: Optional[Sequence[float]] = None,
+) -> Optional[OperatingPoint]:
+    """Highest-throughput DVFS point whose total power fits the cap.
+
+    Memory power is charged at the achieved byte rates (they scale with
+    throughput); refresh power is constant per tier.  Returns ``None``
+    when even the lowest frequency cannot fit the cap (the machine
+    cannot run this workload at this budget).
+    """
+    if cap_w <= 0:
+        raise ValueError("cap must be positive")
+    accelerator = power_model.accelerator
+    traffic = decode_step_traffic(model, context_tokens, batch_size)
+    frequencies = frequencies or [f / 20.0 for f in range(20, 4, -1)]
+    best: Optional[OperatingPoint] = None
+    for frequency in frequencies:
+        tokens_per_s, utilization = _decode_throughput_at_frequency(
+            accelerator, model, context_tokens, batch_size, frequency,
+            tier_name,
+        )
+        steps_per_s = tokens_per_s / batch_size
+        read_rate = traffic.bytes_read * steps_per_s
+        write_rate = traffic.bytes_written * steps_per_s
+        # Route all traffic over the named tier; others only refresh.
+        read_rates = [
+            read_rate if tier.name == tier_name else 0.0 for tier in tiers
+        ]
+        write_rates = [
+            write_rate if tier.name == tier_name else 0.0 for tier in tiers
+        ]
+        compute = power_model.compute_power_w(utilization, frequency)
+        memory = power_model.memory_power_w(tiers, read_rates, write_rates)
+        if compute + memory > cap_w:
+            continue
+        point = OperatingPoint(
+            frequency=frequency,
+            tokens_per_s=tokens_per_s,
+            compute_power_w=compute,
+            memory_power_w=memory,
+        )
+        if best is None or point.tokens_per_s > best.tokens_per_s:
+            best = point
+    return best
+
+
+def power_capped_throughput(
+    power_model: PowerModel,
+    model: ModelConfig,
+    tiers: Sequence[MemoryTier],
+    cap_w: float,
+    **kwargs,
+) -> float:
+    """Tokens/s under the cap (0.0 when infeasible)."""
+    point = best_frequency_under_cap(power_model, model, tiers, cap_w, **kwargs)
+    return point.tokens_per_s if point is not None else 0.0

@@ -1,0 +1,106 @@
+"""Event objects and the simulator's time-ordered event queue.
+
+Events are the unit of scheduling in the kernel.  An :class:`Event` may be
+*fired* at a simulated time with a payload; callbacks registered on it run
+when the kernel processes it.  The :class:`EventQueue` orders events by
+``(time, sequence)`` so that events scheduled for the same instant run in
+the order they were scheduled (a stable, deterministic tiebreak — critical
+for reproducible simulations).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, may be scheduled (given a time), and is
+    *fired* exactly once by the kernel, at which point its callbacks run
+    in registration order with ``(event)`` as the argument.
+
+    Attributes
+    ----------
+    value:
+        Arbitrary payload attached when the event is triggered.
+    fired:
+        True once the kernel has processed the event.
+    """
+
+    __slots__ = ("callbacks", "value", "fired", "scheduled", "_name")
+
+    def __init__(self, name: str = "") -> None:
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.value: Any = None
+        self.fired: bool = False
+        self.scheduled: bool = False
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name or f"event@{id(self):#x}"
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register *fn* to run when the event fires.
+
+        If the event has already fired, the callback runs immediately —
+        this makes "wait on a possibly-complete event" race-free.
+        """
+        if self.fired:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _fire(self) -> None:
+        if self.fired:
+            raise RuntimeError(f"event {self.name} fired twice")
+        self.fired = True
+        callbacks, self.callbacks = self.callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else ("scheduled" if self.scheduled else "pending")
+        return f"<Event {self.name} {state}>"
+
+
+class EventQueue:
+    """Stable min-heap of ``(time, seq, event)`` entries.
+
+    The monotonically increasing sequence number guarantees FIFO order
+    among events scheduled for the same simulated time, which keeps runs
+    deterministic regardless of heap internals.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, event: Event) -> None:
+        """Schedule *event* to fire at simulated *time*."""
+        if event.scheduled:
+            raise RuntimeError(f"event {event.name} scheduled twice")
+        if time != time:  # NaN guard
+            raise ValueError("event time is NaN")
+        event.scheduled = True
+        heapq.heappush(self._heap, (time, next(self._seq), event))
+
+    def pop(self) -> Tuple[float, Event]:
+        """Remove and return the earliest ``(time, event)`` pair."""
+        time, _seq, event = heapq.heappop(self._heap)
+        return time, event
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest event, or None if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

@@ -1,0 +1,143 @@
+"""The discrete-event simulation kernel (event loop).
+
+:class:`Simulator` owns the clock and the event queue.  Time only moves
+when the loop pops the next event; between events, callbacks and process
+steps run instantaneously at the current simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Time units are whatever the caller chooses (this library uses
+    seconds everywhere).  Determinism: same schedule order in, same
+    execution order out — ties in time break by scheduling order.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> sim.schedule(5.0, lambda ev: None)
+    >>> sim.run()
+    >>> sim.now
+    5.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Optional[Callable[[Event], None]] = None,
+        value: Any = None,
+        name: str = "",
+    ) -> Event:
+        """Create an event that fires ``delay`` from now; return it.
+
+        ``callback`` (if given) is registered on the event.  ``value``
+        becomes the event payload.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = Event(name=name)
+        event.value = value
+        if callback is not None:
+            event.add_callback(callback)
+        self._queue.push(self._now + delay, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Optional[Callable[[Event], None]] = None,
+        value: Any = None,
+        name: str = "",
+    ) -> Event:
+        """Like :meth:`schedule` but with an absolute timestamp."""
+        return self.schedule(time - self._now, callback, value, name)
+
+    def event(self, name: str = "") -> Event:
+        """Create an unscheduled event, to be triggered manually."""
+        return Event(name=name)
+
+    def trigger(self, event: Event, value: Any = None, delay: float = 0.0) -> None:
+        """Schedule a manual event to fire ``delay`` from now with ``value``."""
+        event.value = value
+        self._queue.push(self._now + delay, event)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator as a simulation process.
+
+        The first step runs at the current time (via a zero-delay event)
+        so that spawning inside a callback is safe.
+        """
+        process = Process(self, generator, name=name)
+        self.schedule(0.0, lambda _ev: process._step(None))
+        return process
+
+    def _throw_into(self, process: Process, exc: BaseException) -> None:
+        self.schedule(0.0, lambda _ev: process._step(throw=exc))
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the single earliest event.  Return False if none left."""
+        if not self._queue:
+            return False
+        time, event = self._queue.pop()
+        if time < self._now:
+            raise RuntimeError(f"time went backwards: {time} < {self._now}")
+        self._now = time
+        event._fire()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue empties, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        When stopping at ``until``, the clock is advanced to exactly
+        ``until`` (events at later times stay queued).
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self._now = until
+                    return
+                if max_events is not None and processed >= max_events:
+                    return
+                self.step()
+                processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

@@ -1,0 +1,187 @@
+"""Generator-based simulation processes and the commands they yield.
+
+A process is a Python generator driven by the kernel.  Each ``yield``
+hands the kernel a *command* describing what the process waits for next:
+
+- :class:`Timeout` — resume after a simulated delay.
+- :class:`Wait` — resume when an :class:`~repro.sim.events.Event` fires;
+  the event's ``value`` is sent back into the generator.
+- :class:`Acquire` — resume once a unit of a
+  :class:`~repro.sim.resources.Resource` is held.
+- :class:`Release` — give a unit back (resumes immediately).
+
+A process may also ``yield`` another :class:`Process` to join it (resume
+when the child finishes; the child's return value is sent back).
+
+This mirrors SimPy's programming model while staying ~200 lines and fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event
+
+
+class Command:
+    """Base class for objects a process may yield to the kernel."""
+
+    __slots__ = ()
+
+
+class Timeout(Command):
+    """Suspend the yielding process for ``delay`` simulated time units."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class Wait(Command):
+    """Suspend until ``event`` fires; its value is sent into the process."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+
+class Acquire(Command):
+    """Suspend until one unit of ``resource`` is held by this process."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:  # noqa: F821
+        self.resource = resource
+
+
+class Release(Command):
+    """Return one unit of ``resource``; the process resumes immediately."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:  # noqa: F821
+        self.resource = resource
+
+
+class Process:
+    """A running generator coroutine inside the simulator.
+
+    Created via :meth:`repro.sim.kernel.Simulator.spawn`.  The
+    :attr:`done` event fires when the generator returns; its value is the
+    generator's return value.
+    """
+
+    __slots__ = ("sim", "generator", "done", "name", "_alive", "_wait_generation")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:  # noqa: F821
+        self.sim = sim
+        self.generator = generator
+        self.done = Event(name=f"done:{name or repr(generator)}")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._alive = True
+        # Incremented whenever the process changes what it waits on; a
+        # stale wakeup (older generation) is ignored, so an interrupt
+        # that the process catches cannot be followed by the original
+        # timeout spuriously resuming it.
+        self._wait_generation = 0
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator has returned or been interrupted."""
+        return self._alive
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Throw ``exc`` (default :class:`Interrupted`) into the process.
+
+        The process may catch it and keep running; if it does not, it
+        terminates and its ``done`` event fires with the exception as the
+        value.
+        """
+        if not self._alive:
+            return
+        # Invalidate whatever wakeup the process was waiting on.
+        self._wait_generation += 1
+        generation = self._wait_generation
+        self.sim.schedule(
+            0.0, lambda _ev: self._step_if(generation, throw=exc or Interrupted())
+        )
+
+    def _step_if(
+        self,
+        generation: int,
+        send_value: Any = None,
+        throw: Optional[BaseException] = None,
+    ) -> None:
+        """Step only if this wakeup is still the current one."""
+        if generation != self._wait_generation:
+            return
+        self._step(send_value, throw)
+
+    def _step(self, send_value: Any = None, throw: Optional[BaseException] = None) -> None:
+        """Advance the generator one yield and interpret its command."""
+        if not self._alive:
+            # A stale wakeup (e.g. a Timeout that fires after the process
+            # was interrupted) must not resurrect a finished process.
+            return
+        try:
+            if throw is not None:
+                command = self.generator.throw(throw)
+            else:
+                command = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.value = stop.value
+            self.done._fire()
+            return
+        except Interrupted as exc:
+            self._alive = False
+            self.done.value = exc
+            self.done._fire()
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        sim = self.sim
+        self._wait_generation += 1
+        generation = self._wait_generation
+        if isinstance(command, Timeout):
+            sim.schedule(
+                command.delay,
+                lambda _ev: self._step_if(generation, command.value),
+            )
+        elif isinstance(command, Wait):
+            command.event.add_callback(
+                lambda ev: self._step_if(generation, ev.value)
+            )
+        elif isinstance(command, Acquire):
+            command.resource._enqueue(self, generation)
+        elif isinstance(command, Release):
+            command.resource._release()
+            sim.schedule(0.0, lambda _ev: self._step_if(generation, None))
+        elif isinstance(command, Process):
+            command.done.add_callback(
+                lambda ev: self._step_if(generation, ev.value)
+            )
+        elif isinstance(command, Event):
+            command.add_callback(lambda ev: self._step_if(generation, ev.value))
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported command: {command!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class Interrupted(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called."""

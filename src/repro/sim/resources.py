@@ -1,0 +1,87 @@
+"""Counted resources with FIFO wait queues.
+
+A :class:`Resource` models anything with finite concurrency: an
+accelerator's execution slot, a memory channel, a migration engine.
+Processes acquire with ``yield Acquire(res)`` and release with
+``yield Release(res)`` (or :meth:`Resource.release` from plain code).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+
+class Resource:
+    """A resource with ``capacity`` interchangeable units.
+
+    FIFO fairness: waiters are resumed in arrival order.  The resource
+    never grants more than ``capacity`` units at once.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:  # noqa: F821
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or f"resource@{id(self):#x}"
+        self._in_use = 0
+        self._waiters: Deque[tuple] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units free right now."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Processes waiting to acquire."""
+        return len(self._waiters)
+
+    def _enqueue(self, process: "Process", generation: int) -> None:
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            self._deliver(process, generation)
+        else:
+            self._waiters.append((process, generation))
+
+    def _deliver(self, process: "Process", generation: int) -> None:
+        """Hand a held unit to a waiter — unless the waiter has moved on
+        (interrupted while queued), in which case the unit is released
+        onward instead of leaking."""
+
+        def grant(_ev) -> None:
+            if not process.alive or process._wait_generation != generation:
+                self._release()
+            else:
+                process._step(None)
+
+        self.sim.schedule(0.0, grant)
+
+    def _release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name}")
+        if self._waiters:
+            # Hand the unit straight to the next waiter: in_use stays flat.
+            waiter, generation = self._waiters.popleft()
+            self._deliver(waiter, generation)
+        else:
+            self._in_use -= 1
+
+    def release(self) -> None:
+        """Release one unit from non-process code."""
+        self._release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Resource {self.name} {self._in_use}/{self.capacity} "
+            f"queued={len(self._waiters)}>"
+        )

@@ -1,0 +1,272 @@
+"""Metric recorders for simulations.
+
+These are deliberately simple and allocation-light so simulations can
+record millions of samples:
+
+- :class:`Counter` — monotonically increasing tally (events, bytes).
+- :class:`TimeWeightedValue` — integrates a piecewise-constant signal over
+  simulated time (queue depth, occupancy, power draw) and reports its
+  time-weighted mean.
+- :class:`Histogram` — fixed-bin histogram with exact count/sum and
+  approximate quantiles.
+- :class:`RateMeter` — counts per unit of simulated time.
+- :class:`MetricRegistry` — a named bag of all of the above, with a
+  ``snapshot()`` for report generation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Union
+
+
+class Counter:
+    """Monotonic event/byte counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.name}={self.value}>"
+
+
+class TimeWeightedValue:
+    """Time-weighted integral of a piecewise-constant signal.
+
+    Call :meth:`set` whenever the signal changes; the recorder integrates
+    the previous level over the elapsed simulated time.
+    """
+
+    __slots__ = ("name", "_level", "_last_time", "_area", "_max", "_min", "_started")
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0) -> None:
+        self.name = name
+        self._level = initial
+        self._last_time = start_time
+        self._area = 0.0
+        self._max = initial
+        self._min = initial
+        self._started = start_time
+
+    @property
+    def level(self) -> float:
+        """Current signal level."""
+        return self._level
+
+    @property
+    def peak(self) -> float:
+        return self._max
+
+    @property
+    def trough(self) -> float:
+        return self._min
+
+    def set(self, now: float, level: float) -> None:
+        """Record that the signal becomes ``level`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards in {self.name!r}: {now} < {self._last_time}"
+            )
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        self._max = max(self._max, level)
+        self._min = min(self._min, level)
+
+    def adjust(self, now: float, delta: float) -> None:
+        """Add ``delta`` to the current level at time ``now``."""
+        self.set(now, self._level + delta)
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean from creation until ``now`` (default: last update)."""
+        end = self._last_time if now is None else now
+        span = end - self._started
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (end - self._last_time)
+        return area / span
+
+
+class Histogram:
+    """Histogram with exact moments and sorted-sample quantiles.
+
+    Keeps every sample (simulations here record at most a few hundred
+    thousand), so quantiles are exact rather than bin-approximated.
+    """
+
+    __slots__ = ("name", "_samples", "_sorted", "_sum", "_sumsq")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+        self._sum = 0.0
+        self._sumsq = 0.0
+
+    def observe(self, value: float) -> None:
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+        self._sum += value
+        self._sumsq += value * value
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    def mean(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return self._sum / len(self._samples)
+
+    def stdev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self._sum / n
+        var = max(0.0, self._sumsq / n - mean * mean)
+        return math.sqrt(var)
+
+    def _ensure_sorted(self) -> List[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def quantile(self, q: float) -> float:
+        """Exact empirical quantile, linear interpolation between ranks."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        samples = self._ensure_sorted()
+        if not samples:
+            return float("nan")
+        if len(samples) == 1:
+            return samples[0]
+        pos = q * (len(samples) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(samples) - 1)
+        frac = pos - lo
+        return samples[lo] * (1 - frac) + samples[hi] * frac
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def max(self) -> float:
+        return self._ensure_sorted()[-1] if self._samples else float("nan")
+
+    def min(self) -> float:
+        return self._ensure_sorted()[0] if self._samples else float("nan")
+
+    def cdf(self, value: float) -> float:
+        """Fraction of samples <= value."""
+        samples = self._ensure_sorted()
+        if not samples:
+            return float("nan")
+        return bisect.bisect_right(samples, value) / len(samples)
+
+
+class RateMeter:
+    """Counts per unit of simulated time over an observation window."""
+
+    __slots__ = ("name", "_count", "_start")
+
+    def __init__(self, name: str = "", start_time: float = 0.0) -> None:
+        self.name = name
+        self._count = 0.0
+        self._start = start_time
+
+    def tick(self, amount: float = 1.0) -> None:
+        self._count += amount
+
+    def rate(self, now: float) -> float:
+        span = now - self._start
+        if span <= 0:
+            return 0.0
+        return self._count / span
+
+    @property
+    def count(self) -> float:
+        return self._count
+
+
+MetricLike = Union[Counter, TimeWeightedValue, Histogram, RateMeter]
+
+
+class MetricRegistry:
+    """A named collection of metrics with lazy creation.
+
+    >>> reg = MetricRegistry()
+    >>> reg.counter("reads").add(3)
+    >>> reg.snapshot()["reads"]
+    3.0
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, MetricLike] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def time_weighted(self, name: str, start_time: float = 0.0) -> TimeWeightedValue:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = TimeWeightedValue(name, start_time=start_time)
+            self._metrics[name] = metric
+        elif not isinstance(metric, TimeWeightedValue):
+            raise TypeError(f"metric {name!r} is {type(metric).__name__}")
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def rate(self, name: str, start_time: float = 0.0) -> RateMeter:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = RateMeter(name, start_time=start_time)
+            self._metrics[name] = metric
+        elif not isinstance(metric, RateMeter):
+            raise TypeError(f"metric {name!r} is {type(metric).__name__}")
+        return metric
+
+    def _get(self, name: str, cls: type) -> MetricLike:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} is {type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> Sequence[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, float]:
+        """One representative scalar per metric (counter value, TW mean,
+        histogram mean, rate count)."""
+        out: Dict[str, float] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            elif isinstance(metric, TimeWeightedValue):
+                out[name] = metric.mean(now)
+            elif isinstance(metric, Histogram):
+                out[name] = metric.mean()
+            elif isinstance(metric, RateMeter):
+                out[name] = metric.count
+        return out

@@ -1,0 +1,69 @@
+"""Migration plans between placements.
+
+When the tier manager decides data should move (wear pressure, expiry
+economics, a new model deployment), the move itself costs bandwidth and
+energy on both tiers.  :func:`plan_migration` diffs two placements and
+produces a :class:`MigrationPlan` with those costs, so policies can
+weigh "migrate" against "refresh in place" or "drop and recompute" —
+the three-way decision of Section 4's retention-aware scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.placement import DataObject
+from repro.tiering.policy import Placement
+
+
+@dataclass(frozen=True)
+class Move:
+    """One object's move between tiers."""
+
+    obj: DataObject
+    source: str
+    destination: str
+
+
+@dataclass
+class MigrationPlan:
+    """The cost-annotated set of moves from one placement to another."""
+
+    moves: List[Move] = field(default_factory=list)
+    bytes_moved: int = 0
+    transfer_time_s: float = 0.0
+    energy_j: float = 0.0
+
+    @property
+    def empty(self) -> bool:
+        return not self.moves
+
+
+def plan_migration(
+    before: Placement, after: Placement, objects: Sequence[DataObject]
+) -> MigrationPlan:
+    """Diff two placements over the same object set.
+
+    Transfer time models the per-move bottleneck (min of source read and
+    destination write bandwidth) with moves serialized — a conservative
+    bound; energy charges a read on the source and a write on the
+    destination.
+    """
+    plan = MigrationPlan()
+    for obj in objects:
+        src = before.assignment.get(obj.object_id)
+        dst = after.assignment.get(obj.object_id)
+        if src is None or dst is None:
+            raise KeyError(f"object {obj.name} missing from a placement")
+        if src == dst:
+            continue
+        source = before._tier_by_name(src)
+        destination = after._tier_by_name(dst)
+        plan.moves.append(Move(obj, src, dst))
+        plan.bytes_moved += obj.size_bytes
+        effective_bw = min(source.read_bandwidth, destination.write_bandwidth)
+        plan.transfer_time_s += obj.size_bytes / effective_bw
+        plan.energy_j += source.read_energy_j(obj.size_bytes)
+        plan.energy_j += destination.write_energy_j(obj.size_bytes)
+    return plan

@@ -1,0 +1,88 @@
+"""Unit constants and small conversion helpers used across the library.
+
+Everything in this library is expressed in SI base units internally:
+bytes, seconds, joules, dollars.  These constants exist so call sites
+read naturally (``3 * GiB``, ``5 * YEAR``) and so unit intent is explicit
+at every boundary.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Data sizes (binary and decimal)
+# ---------------------------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+KB = 1_000
+MB = 1_000 * KB
+GB = 1_000 * MB
+TB = 1_000 * GB
+
+BITS_PER_BYTE = 8
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+YEAR = 365.25 * DAY
+
+# ---------------------------------------------------------------------------
+# Energy / power
+# ---------------------------------------------------------------------------
+PICOJOULE = 1e-12
+NANOJOULE = 1e-9
+MICROJOULE = 1e-6
+MILLIJOULE = 1e-3
+JOULE = 1.0
+WATT = 1.0  # J/s
+KILOWATT = 1e3
+MEGAWATT = 1e6
+KWH = 3.6e6  # joules in a kilowatt-hour
+
+
+def bytes_to_human(n: float) -> str:
+    """Render a byte count with a binary suffix: ``bytes_to_human(3*GiB)``
+    -> ``'3.00 GiB'``."""
+    n = float(n)
+    for unit, size in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= size:
+            return f"{n / size:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def seconds_to_human(t: float) -> str:
+    """Render a duration with the largest natural unit."""
+    t = float(t)
+    for unit, size in (
+        ("y", YEAR),
+        ("d", DAY),
+        ("h", HOUR),
+        ("min", MINUTE),
+        ("s", SECOND),
+        ("ms", MILLISECOND),
+        ("us", MICROSECOND),
+        ("ns", NANOSECOND),
+    ):
+        if abs(t) >= size:
+            return f"{t / size:.2f} {unit}"
+    return f"{t:.2e} s"
+
+
+def pj_per_bit_to_j_per_byte(pj_per_bit: float) -> float:
+    """Convert an energy given in pJ/bit (the unit datasheets use) to
+    joules per byte (the unit the models use)."""
+    return pj_per_bit * PICOJOULE * BITS_PER_BYTE
+
+
+def j_per_byte_to_pj_per_bit(j_per_byte: float) -> float:
+    """Inverse of :func:`pj_per_bit_to_j_per_byte`."""
+    return j_per_byte / (PICOJOULE * BITS_PER_BYTE)

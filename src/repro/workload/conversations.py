@@ -1,0 +1,149 @@
+"""Multi-turn conversation sessions.
+
+Section 4 frames the diversifying workload ("user-in-the-loop
+conversation", "meeting recap") and the related work offloads *idle* KV
+caches between turns [49].  This module generates session-structured
+workloads: a conversation is a sequence of turns separated by user
+think times, where each turn's prompt contains the full history plus
+the new user message.
+
+The KV-policy question shows up as ``cached_prompt_tokens`` on the
+emitted requests:
+
+- ``"retain"``  — history KV survives the think time (kept in HBM,
+  restored from an offload tier, or carried by MRM retention): follow-up
+  turns prefill only their new tokens;
+- ``"recompute"`` — history KV was dropped: every turn prefills its
+  whole accumulated history (the compute bill of having no retention
+  story).
+
+:func:`sessions_to_requests` flattens sessions into an arrival-ordered
+request stream for the cluster/engine simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.workload.model import ModelConfig
+from repro.workload.requests import InferenceRequest, SLAClass
+
+
+@dataclass(frozen=True)
+class Turn:
+    """One user turn: new prompt tokens in, output tokens back."""
+
+    new_prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.new_prompt_tokens < 1 or self.output_tokens < 1:
+            raise ValueError("turns need at least one token each way")
+
+
+@dataclass(frozen=True)
+class Session:
+    """A conversation: turns plus the think times between them."""
+
+    start_time: float
+    turns: tuple
+    think_times_s: tuple  # len == len(turns) - 1
+
+    def __post_init__(self) -> None:
+        if not self.turns:
+            raise ValueError("a session needs at least one turn")
+        if len(self.think_times_s) != len(self.turns) - 1:
+            raise ValueError("need exactly one think time between turns")
+
+    def history_tokens_before(self, turn_index: int) -> int:
+        """Tokens accumulated in context before the given turn."""
+        total = 0
+        for turn in self.turns[:turn_index]:
+            total += turn.new_prompt_tokens + turn.output_tokens
+        return total
+
+
+def generate_sessions(
+    count: int,
+    turns_mean: float = 4.0,
+    think_time_mean_s: float = 60.0,
+    prompt_tokens_mean: int = 200,
+    output_tokens_mean: int = 120,
+    arrival_rate_per_s: float = 0.5,
+    seed: int = 0,
+) -> List[Session]:
+    """Draw a reproducible session population.
+
+    Turn counts are Poisson (min 1); think times and inter-session
+    arrivals exponential; per-turn token counts geometric around their
+    means (min 1).
+    """
+    if count < 1:
+        raise ValueError("need at least one session")
+    rng = np.random.default_rng(seed)
+    sessions: List[Session] = []
+    now = 0.0
+    for _ in range(count):
+        now += float(rng.exponential(1.0 / arrival_rate_per_s))
+        num_turns = max(1, int(rng.poisson(turns_mean)))
+        turns = tuple(
+            Turn(
+                new_prompt_tokens=max(1, int(rng.geometric(1.0 / prompt_tokens_mean))),
+                output_tokens=max(1, int(rng.geometric(1.0 / output_tokens_mean))),
+            )
+            for _ in range(num_turns)
+        )
+        thinks = tuple(
+            float(t) for t in rng.exponential(think_time_mean_s, num_turns - 1)
+        )
+        sessions.append(Session(start_time=now, turns=turns, think_times_s=thinks))
+    return sessions
+
+
+def sessions_to_requests(
+    sessions: List[Session],
+    model: ModelConfig,
+    kv_policy: str = "retain",
+    sla: SLAClass = SLAClass.INTERACTIVE,
+) -> List[InferenceRequest]:
+    """Flatten sessions into an arrival-ordered request stream.
+
+    Turn arrival times are *approximate*: each turn is assumed to start
+    after the previous turn's think time (service time not added — the
+    simulator's queueing supplies it), which keeps the stream reusable
+    across serving configurations.
+
+    ``kv_policy``:
+
+    - ``"retain"``: follow-ups carry ``cached_prompt_tokens`` equal to
+      the accumulated history (their KV survived the think time);
+    - ``"recompute"``: follow-ups prefill the whole history again.
+    """
+    if kv_policy not in ("retain", "recompute"):
+        raise ValueError(f"unknown kv policy {kv_policy!r}")
+    requests: List[InferenceRequest] = []
+    for session in sessions:
+        when = session.start_time
+        for index, turn in enumerate(session.turns):
+            history = session.history_tokens_before(index)
+            prompt = history + turn.new_prompt_tokens
+            prompt = min(prompt, model.context_limit_tokens - turn.output_tokens)
+            cached = 0
+            if kv_policy == "retain" and index > 0:
+                cached = min(history, prompt - 1)
+            requests.append(
+                InferenceRequest(
+                    arrival_time=when,
+                    prompt_tokens=max(1, prompt),
+                    output_tokens=turn.output_tokens,
+                    sla=sla,
+                    cached_prompt_tokens=max(0, cached),
+                )
+            )
+            if index < len(session.think_times_s):
+                when += session.think_times_s[index]
+    requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return requests

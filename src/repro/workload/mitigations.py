@@ -1,0 +1,113 @@
+"""Read-traffic mitigations: batching, prefix reuse, KV compression.
+
+Section 2.2: "There are efforts to reduce the amount of data read
+during inference.  For example, batching allows weight reuse across
+requests [3].  However, batching is limited by latency requirements.
+Reuse of the KV cache across requests [54] and KV cache compression
+[27] are also used, but each has its limitations and even together they
+do not fundamentally change the heavily read-dominated nature of the
+workload."
+
+This module composes all three into one traffic transform so the claim
+can be *measured* (ablation A1): apply any subset of mitigations to the
+decode traffic and see what happens to (a) bytes read per token and
+(b) the read:write ratio.  The expected result — and what the ablation
+bench asserts — is that reads per token shrink by the mitigation
+factors, while the ratio stays orders of magnitude above 1000:1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workload.model import ModelConfig
+from repro.workload.phases import PhaseTraffic, decode_step_traffic
+from repro.workload.speculative import (
+    SpeculationConfig,
+    speculative_decode_step_traffic,
+)
+
+
+@dataclass(frozen=True)
+class MitigationConfig:
+    """Which read-reduction mechanisms are on, and how hard they work.
+
+    Attributes
+    ----------
+    batch_size:
+        Requests decoded per iteration (weight-read amortization [3]).
+    kv_compression_ratio:
+        CacheGen-style compression [27]: stored/streamed KV bytes are
+        ``1/ratio`` of raw.  2-4x is the practical range the paper's
+        citation reports with acceptable quality loss.
+    shared_prefix_fraction:
+        Fraction of each context's KV that is a shared prefix served
+        from a common copy [54]; those bytes are read once per *step*
+        (for the whole batch) instead of once per context.
+    speculation:
+        Optional speculative decoding (multiplies tokens per weight
+        read).
+    """
+
+    batch_size: int = 1
+    kv_compression_ratio: float = 1.0
+    shared_prefix_fraction: float = 0.0
+    speculation: Optional[SpeculationConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if self.kv_compression_ratio < 1.0:
+            raise ValueError("compression ratio is >= 1 by definition")
+        if not 0.0 <= self.shared_prefix_fraction <= 1.0:
+            raise ValueError("shared prefix fraction in [0, 1]")
+
+
+def mitigated_decode_traffic(
+    model: ModelConfig,
+    mitigations: MitigationConfig,
+    context_tokens: int,
+) -> PhaseTraffic:
+    """One decode iteration's traffic with the mitigations applied."""
+    if mitigations.speculation is not None:
+        base = speculative_decode_step_traffic(
+            model, mitigations.speculation, context_tokens,
+            mitigations.batch_size,
+        )
+    else:
+        base = decode_step_traffic(
+            model, context_tokens, mitigations.batch_size
+        )
+    kv_read = base.bytes_read_kv
+    # Prefix sharing: the shared fraction is read once per step instead
+    # of once per context.
+    shared = mitigations.shared_prefix_fraction
+    if shared > 0.0 and mitigations.batch_size > 1:
+        per_context = kv_read / mitigations.batch_size
+        kv_read = (
+            per_context * shared  # one shared copy for the whole batch
+            + per_context * (1.0 - shared) * mitigations.batch_size
+        )
+    # Compression shrinks both the KV stream and the appends.
+    kv_read /= mitigations.kv_compression_ratio
+    kv_written = base.bytes_written_kv / mitigations.kv_compression_ratio
+    return PhaseTraffic(
+        bytes_read_weights=base.bytes_read_weights,
+        bytes_read_kv=kv_read,
+        bytes_written_kv=kv_written,
+        flops=base.flops,
+    )
+
+
+def read_bytes_per_token(
+    model: ModelConfig,
+    mitigations: MitigationConfig,
+    context_tokens: int,
+) -> float:
+    """Total bytes read per emitted token under the mitigations."""
+    traffic = mitigated_decode_traffic(model, mitigations, context_tokens)
+    tokens = float(mitigations.batch_size)
+    if mitigations.speculation is not None:
+        tokens *= mitigations.speculation.expected_tokens_per_step()
+    return traffic.bytes_read / tokens

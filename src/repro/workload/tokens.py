@@ -1,0 +1,74 @@
+"""Per-context token accounting.
+
+:class:`ContextTokens` tracks one conversation context through its life:
+prefill creates ``prompt_tokens`` KV vectors at once, then each decode
+step appends exactly one.  It exposes the quantities the paper's
+analysis keeps reaching for — current KV footprint, bytes read per
+step, append bytes — without any simulator dependency, so analytical
+experiments and the discrete-event engine share the arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.model import ModelConfig
+
+
+@dataclass
+class ContextTokens:
+    """Token/KV bookkeeping for one context.
+
+    Attributes
+    ----------
+    model:
+        The serving model (KV sizing).
+    prompt_tokens:
+        Prompt length; set at prefill.
+    generated_tokens:
+        Tokens decoded so far.
+    """
+
+    model: ModelConfig
+    prompt_tokens: int
+    generated_tokens: int = 0
+    prefilled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 1:
+            raise ValueError("prompt must have at least one token")
+
+    @property
+    def context_tokens(self) -> int:
+        """Tokens currently in context (prompt + generated)."""
+        return self.prompt_tokens + self.generated_tokens
+
+    @property
+    def kv_bytes(self) -> int:
+        """Current KV-cache footprint (0 before prefill)."""
+        if not self.prefilled:
+            return 0
+        return self.model.kv_cache_bytes(self.context_tokens)
+
+    def prefill(self) -> int:
+        """Run prefill; returns KV bytes written."""
+        if self.prefilled:
+            raise RuntimeError("context already prefilled")
+        self.prefilled = True
+        return self.model.kv_cache_bytes(self.prompt_tokens)
+
+    def decode_step(self) -> tuple:
+        """Generate one token.
+
+        Returns ``(kv_bytes_read, kv_bytes_appended)`` for the step: the
+        whole current cache is read, then one vector is appended.
+        """
+        if not self.prefilled:
+            raise RuntimeError("decode before prefill")
+        read = self.model.kv_cache_bytes(self.context_tokens)
+        self.generated_tokens += 1
+        return read, self.model.kv_bytes_per_token
+
+    def at_limit(self) -> bool:
+        """True when the context hit the model's deployment limit."""
+        return self.context_tokens >= self.model.context_limit_tokens

@@ -1,0 +1,126 @@
+"""Tests for workload characterization — the Section 2 claims."""
+
+import pytest
+
+from repro.analysis.characterization import (
+    AccessRecord,
+    AccessType,
+    characterize,
+    synthesize_access_stream,
+)
+from repro.workload.model import LLAMA2_13B
+from repro.workload.requests import InferenceRequest
+
+
+def make_requests(n=4, prompt=300, output=60):
+    return [
+        InferenceRequest(float(i), prompt_tokens=prompt, output_tokens=output)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def report():
+    requests = make_requests()
+    stream = synthesize_access_stream(
+        LLAMA2_13B, requests, page_bytes=4 * 1024 * 1024, batch_size=4
+    )
+    return characterize(stream, page_bytes=4 * 1024 * 1024)
+
+
+class TestPaperClaims:
+    def test_read_dominated_over_1000_to_1(self, report):
+        """Section 2.2: read:write ratios over 1000:1."""
+        assert report.read_write_ratio > 1000
+
+    def test_highly_sequential(self, report):
+        """'memory accesses are sequential and predictable'."""
+        assert report.sequentiality > 0.95
+
+    def test_no_in_place_updates(self, report):
+        """'There are no in-place updates for weights or KV caches'."""
+        assert report.inplace_update_fraction == 0.0
+
+    def test_fully_predictable(self, report):
+        assert report.predictability == 1.0
+
+    def test_weights_dominate_reads(self, report):
+        assert report.bytes_read_by_structure["weights"] > 0
+        assert report.bytes_read_by_structure["kv"] > 0
+        assert report.bytes_written_by_structure == pytest.approx(
+            {"kv": report.bytes_written}
+        )
+
+
+class TestCharacterizeMechanics:
+    def test_counts_split_by_type(self):
+        records = [
+            AccessRecord(0.0, "s", "other", AccessType.READ, 0, 100),
+            AccessRecord(1.0, "s", "other", AccessType.WRITE, 100, 50),
+        ]
+        report = characterize(records)
+        assert report.bytes_read == 100
+        assert report.bytes_written == 50
+        assert report.read_write_ratio == 2.0
+
+    def test_random_stream_scores_low_sequentiality(self):
+        records = [
+            AccessRecord(float(i), "s", "other", AccessType.READ,
+                         address=(i * 7919) % 100000, size=64)
+            for i in range(100)
+        ]
+        report = characterize(records)
+        assert report.sequentiality < 0.2
+
+    def test_overwrite_detection(self):
+        page = 4096
+        records = [
+            AccessRecord(0.0, "s", "other", AccessType.WRITE, 0, page),
+            AccessRecord(10.0, "s", "other", AccessType.WRITE, 0, page),
+        ]
+        report = characterize(records, page_bytes=page)
+        assert report.inplace_update_fraction == pytest.approx(0.5)
+        assert report.overwrite_intervals.count == 1
+        assert report.overwrite_intervals.mean() == 10.0
+
+    def test_pure_reads_infinite_ratio(self):
+        records = [AccessRecord(0.0, "s", "other", AccessType.READ, 0, 10)]
+        assert characterize(records).read_write_ratio == float("inf")
+
+    def test_empty_stream(self):
+        report = characterize([])
+        assert report.sequentiality == 0.0
+        assert report.predictability == 0.0
+
+
+class TestSynthesizer:
+    def test_stream_nonempty_and_ordered_in_time(self):
+        stream = list(
+            synthesize_access_stream(LLAMA2_13B, make_requests(2), batch_size=2)
+        )
+        assert stream
+        times = [r.time for r in stream]
+        assert times == sorted(times)
+
+    def test_weight_reads_can_be_excluded(self):
+        stream = list(
+            synthesize_access_stream(
+                LLAMA2_13B, make_requests(2), batch_size=2,
+                include_weight_reads=False,
+            )
+        )
+        assert all(r.structure != "weights" for r in stream)
+
+    def test_kv_appends_monotone_addresses(self):
+        stream = synthesize_access_stream(LLAMA2_13B, make_requests(1),
+                                          batch_size=1)
+        appends = [
+            r.address
+            for r in stream
+            if r.type is AccessType.WRITE and r.stream.startswith("kv-")
+        ]
+        assert appends == sorted(appends)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            list(synthesize_access_stream(LLAMA2_13B, [], page_bytes=0))

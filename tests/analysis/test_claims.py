@@ -1,0 +1,46 @@
+"""Tests for the paper-claims registry."""
+
+import pytest
+
+from repro.analysis.claims import ALL_CLAIMS, Claim, run_all_claims
+
+
+class TestRegistry:
+    def test_all_claims_hold(self):
+        """The headline meta-test: the reproduction reproduces."""
+        results = run_all_claims()
+        failing = [r.claim.claim_id for r in results if not r.holds]
+        assert not failing, f"claims no longer hold: {failing}"
+
+    def test_registry_covers_core_sections(self):
+        sections = {c.section for c in ALL_CLAIMS}
+        assert {"2", "2.1", "2.2", "3", "4"} <= sections
+
+    def test_every_claim_quotes_the_paper(self):
+        for claim in ALL_CLAIMS:
+            assert len(claim.quote) > 20, claim.claim_id
+
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for c in ALL_CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_evidence_is_informative(self):
+        for result in run_all_claims():
+            assert result.evidence
+            assert result.evidence != "True"
+
+    def test_crashing_check_reports_failure(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        claim = Claim("broken", "x", "a deliberately broken check", broken)
+        result = claim.run()
+        assert not result.holds
+        assert "boom" in result.evidence
+
+    def test_cli_claims_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12" in out or "claims hold" in out

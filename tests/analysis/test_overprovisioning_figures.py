@@ -1,0 +1,71 @@
+"""Tests for the HBM provisioning table and text rendering."""
+
+import pytest
+
+from repro.analysis.figures import format_table, log_bar, render_figure1
+from repro.analysis.overprovisioning import hbm_provisioning_table
+from repro.endurance.requirements import figure1_data
+
+
+class TestProvisioningTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return hbm_provisioning_table()
+
+    def _row(self, rows, name):
+        return next(r for r in rows if r.property == name)
+
+    def test_write_bandwidth_overprovisioned(self, rows):
+        """The paper's headline: HBM is 'overprovisioned on write
+        performance'."""
+        row = self._row(rows, "write bandwidth")
+        assert row.verdict == "overprovisioned"
+        assert row.ratio > 100
+
+    def test_endurance_overprovisioned(self, rows):
+        row = self._row(rows, "write endurance")
+        assert row.verdict == "overprovisioned"
+        assert row.ratio > 1e6
+
+    def test_read_bandwidth_underprovisioned(self, rows):
+        assert self._row(rows, "read bandwidth").verdict == "underprovisioned"
+
+    def test_capacity_underprovisioned(self, rows):
+        """'underprovisioned on density and read bandwidth'."""
+        assert self._row(rows, "capacity").verdict == "underprovisioned"
+
+    def test_all_rows_have_units(self, rows):
+        assert all(r.unit for r in rows)
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [["a", 1.0], ["bbb", 22.5]], headers=["name", "value"]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == ""
+
+    def test_log_bar_monotone(self):
+        assert len(log_bar(1e12)) > len(log_bar(1e6))
+        assert log_bar(0.0) == ""
+
+    def test_log_bar_clamps(self):
+        assert len(log_bar(1e30, width=50)) == 50
+
+    def test_log_bar_validation(self):
+        with pytest.raises(ValueError):
+            log_bar(10.0, lo=0.0)
+
+    def test_render_figure1_mentions_everything(self):
+        text = render_figure1(figure1_data())
+        for token in (
+            "KV cache", "weights (hourly)", "HBM / DRAM",
+            "RRAM (Weebit)", "Technology-potential",
+        ):
+            assert token in text

@@ -1,0 +1,56 @@
+"""Tests for the Figure 1 sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    robustness_summary,
+    sweep_kv_requirement,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep_kv_requirement()
+
+
+class TestSweep:
+    def test_covers_all_parameters(self, points):
+        parameters = {p.parameter for p in points}
+        assert parameters == {
+            "token rate (tok/s)", "KV pool (GiB)", "lifetime (years)", "model"
+        }
+
+    def test_requirement_scales_with_rate(self, points):
+        rates = [
+            p for p in points if p.parameter == "token rate (tok/s)"
+        ]
+        values = [p.kv_writes_per_cell for p in rates]
+        assert values == sorted(values)
+
+    def test_requirement_inverse_in_capacity(self, points):
+        caps = [p for p in points if p.parameter == "KV pool (GiB)"]
+        values = [p.kv_writes_per_cell for p in caps]
+        assert values == sorted(values, reverse=True)
+
+    def test_shape_holds_keys(self, points):
+        holds = points[0].shape_holds()
+        assert set(holds) == {
+            "hbm_overprovisioned",
+            "some_product_insufficient",
+            "potential_sufficient",
+        }
+
+
+class TestRobustness:
+    def test_observations_robust_across_sweep(self, points):
+        summary = robustness_summary(points)
+        # HBM overprovisioning and potential sufficiency must hold at
+        # every plausible calibration; product insufficiency at most.
+        assert summary["hbm_overprovisioned"] == 1.0
+        assert summary["potential_sufficient"] >= 0.9
+        assert summary["some_product_insufficient"] >= 0.8
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            robustness_summary([])

@@ -1,0 +1,81 @@
+"""Tests for the retention-decay RBER model."""
+
+import math
+
+import pytest
+
+from repro.core.errors import RetentionErrorModel
+
+
+@pytest.fixture
+def model() -> RetentionErrorModel:
+    return RetentionErrorModel(rber_at_spec=1e-4)
+
+
+class TestCalibration:
+    def test_rber_at_spec_age_is_spec_value(self, model):
+        assert model.rber(3600.0, 3600.0) == pytest.approx(1e-4, rel=1e-6)
+
+    def test_fresh_data_is_clean(self, model):
+        assert model.rber(0.0, 3600.0) == 0.0
+
+    def test_saturates_at_half(self, model):
+        assert model.rber(1e12, 3600.0) == pytest.approx(0.5)
+
+    def test_monotone_in_age(self, model):
+        ages = [10.0, 100.0, 1000.0, 10000.0]
+        values = [model.rber(a, 3600.0) for a in ages]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_longer_retention_means_lower_rber(self, model):
+        assert model.rber(100.0, 10000.0) < model.rber(100.0, 1000.0)
+
+    def test_linear_regime(self, model):
+        """Well before the deadline, RBER is ~proportional to age."""
+        r1 = model.rber(1.0, 3600.0)
+        r2 = model.rber(2.0, 3600.0)
+        assert r2 == pytest.approx(2 * r1, rel=1e-3)
+
+
+class TestInverses:
+    def test_mean_switching_roundtrip(self, model):
+        t_mean = model.mean_switching_time(3600.0)
+        assert model.spec_retention(t_mean) == pytest.approx(3600.0)
+
+    def test_age_for_rber_inverts_rber(self, model):
+        age = model.age_for_rber(1e-3, 3600.0)
+        assert model.rber(age, 3600.0) == pytest.approx(1e-3, rel=1e-9)
+
+    def test_age_for_spec_rber_is_spec_retention(self, model):
+        assert model.age_for_rber(1e-4, 3600.0) == pytest.approx(3600.0)
+
+    def test_stronger_code_extends_deadline(self, model):
+        """Tolerating more raw errors buys time before refresh."""
+        weak = model.age_for_rber(1e-4, 3600.0)
+        strong = model.age_for_rber(1e-2, 3600.0)
+        assert strong > weak
+
+
+class TestExpectedErrors:
+    def test_expected_bit_errors(self, model):
+        errors = model.expected_bit_errors(3600.0, 3600.0, size_bytes=1024)
+        assert errors == pytest.approx(1e-4 * 1024 * 8, rel=1e-6)
+
+    def test_zero_size(self, model):
+        assert model.expected_bit_errors(100.0, 3600.0, 0) == 0.0
+
+
+class TestValidation:
+    def test_bad_spec_rber(self):
+        with pytest.raises(ValueError):
+            RetentionErrorModel(rber_at_spec=0.0)
+        with pytest.raises(ValueError):
+            RetentionErrorModel(rber_at_spec=0.6)
+
+    def test_bad_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.rber(-1.0, 3600.0)
+        with pytest.raises(ValueError):
+            model.rber(1.0, 0.0)
+        with pytest.raises(ValueError):
+            model.age_for_rber(0.7, 3600.0)

@@ -1,0 +1,59 @@
+"""Tests for multi-level-cell MRM (density vs write cost/margin)."""
+
+import pytest
+
+from repro.core.mrm import MRMConfig, MRMDevice
+from repro.units import HOUR, MiB
+
+
+def make_device(bits: int) -> MRMDevice:
+    return MRMDevice(
+        MRMConfig(
+            capacity_bytes=32 * MiB,
+            block_bytes=MiB,
+            blocks_per_zone=8,
+            bits_per_cell=bits,
+        )
+    )
+
+
+class TestMLC:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MRMConfig(bits_per_cell=0)
+
+    def test_density_scales_with_bits(self):
+        slc = make_device(1)
+        mlc = make_device(2)
+        assert mlc.density_multiplier() > slc.density_multiplier()
+        # Two bits per cell ~ 2x the bits per area (the stronger-write
+        # transistor penalty nibbles a little off).
+        ratio = mlc.density_multiplier() / slc.density_multiplier()
+        assert ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_mlc_writes_cost_more(self):
+        slc = make_device(1)
+        mlc = make_device(2)
+        assert mlc.write_energy_for(MiB, HOUR) > slc.write_energy_for(MiB, HOUR)
+
+    def test_mlc_programs_stronger_retention(self):
+        slc = make_device(1)
+        mlc = make_device(2)
+        assert mlc.programmed_retention(HOUR) > slc.programmed_retention(HOUR)
+
+    def test_mlc_endurance_lower_at_same_target(self):
+        """Stronger programming (for window margin) consumes more
+        endurance per write."""
+        slc = make_device(1)
+        mlc = make_device(2)
+        assert mlc.endurance_at(HOUR) <= slc.endurance_at(HOUR)
+
+    def test_tlc_stacks_further(self):
+        mlc = make_device(2)
+        tlc = make_device(3)
+        assert tlc.density_multiplier() > mlc.density_multiplier()
+        assert tlc.write_energy_for(MiB, HOUR) > mlc.write_energy_for(MiB, HOUR)
+
+    def test_slc_is_identity(self):
+        device = make_device(1)
+        assert device._mlc_write_cost() == 1.0

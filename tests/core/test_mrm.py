@@ -1,0 +1,147 @@
+"""Tests for the MRM device: programmable retention, block interface,
+damage-fraction wear, no autonomous housekeeping."""
+
+import pytest
+
+from repro.core.mrm import MRMConfig, MRMDevice, RetentionOutOfRange
+from repro.devices.catalog import RRAM_POTENTIAL
+from repro.units import DAY, HOUR, MiB
+
+
+@pytest.fixture
+def device(small_mrm) -> MRMDevice:
+    return small_mrm
+
+
+class TestConfig:
+    def test_geometry(self, device):
+        assert device.config.num_zones == 4
+        assert device.capacity_bytes == 32 * MiB
+
+    def test_capacity_below_zone_rejected(self):
+        with pytest.raises(ValueError):
+            MRMConfig(capacity_bytes=MiB, block_bytes=MiB, blocks_per_zone=8)
+
+    def test_retention_envelope_validated(self):
+        with pytest.raises(ValueError):
+            MRMConfig(min_retention_s=10.0, max_retention_s=5.0)
+
+
+class TestAppendRead:
+    def test_append_returns_block_and_cost(self, device):
+        block, result = device.append(0, MiB, retention_s=HOUR, now=0.0)
+        assert block.zone_id == 0
+        assert result.energy_j > 0
+        assert result.latency_s > 0
+        assert device.counters.bytes_written == MiB
+
+    def test_retention_envelope_enforced(self, device):
+        with pytest.raises(RetentionOutOfRange):
+            device.append(0, MiB, retention_s=0.1, now=0.0)
+        with pytest.raises(RetentionOutOfRange):
+            device.append(0, MiB, retention_s=365 * DAY, now=0.0)
+
+    def test_read_block(self, device):
+        block, _w = device.append(0, MiB, HOUR, now=0.0)
+        result = device.read_block(block, now=1.0)
+        assert result.size_bytes == MiB
+        assert device.counters.bytes_read == MiB
+
+    def test_read_expired_block_rejected(self, device):
+        block, _w = device.append(0, MiB, HOUR, now=0.0)
+        device.mark_expired(block)
+        with pytest.raises(RuntimeError):
+            device.read_block(block, now=2.0)
+
+
+class TestProgrammableRetention:
+    def test_shorter_retention_cheaper_write(self, device):
+        cheap = device.write_energy_for(MiB, 60.0)
+        costly = device.write_energy_for(MiB, 7 * DAY)
+        assert cheap < costly
+
+    def test_shorter_retention_faster_write(self, device):
+        assert device.write_latency_for(MiB, 60.0) < device.write_latency_for(
+            MiB, 7 * DAY
+        )
+
+    def test_shorter_retention_more_endurance(self, device):
+        assert device.endurance_at(60.0) > device.endurance_at(7 * DAY)
+
+    def test_temperature_derating_strengthens_programming(self, device):
+        programmed = device.programmed_retention(HOUR)
+        assert programmed > HOUR  # operating at 85C vs 55C reference
+
+    def test_rber_tracks_deadline(self, device):
+        block, _w = device.append(0, MiB, HOUR, now=0.0)
+        fresh = device.rber_of(block, now=60.0)
+        stale = device.rber_of(block, now=HOUR)
+        assert fresh < stale
+        assert stale == pytest.approx(
+            device.error_model.rber_at_spec, rel=1e-6
+        )
+
+
+class TestRefreshAndExpiry:
+    def test_refresh_resets_age(self, device):
+        block, _w = device.append(0, MiB, HOUR, now=0.0)
+        device.refresh_block(block, now=1800.0)
+        assert block.written_at == 1800.0
+        assert block.refresh_count == 1
+        assert device.rber_of(block, now=1800.0) == 0.0
+
+    def test_refresh_counts_as_refresh_energy(self, device):
+        block, _w = device.append(0, MiB, HOUR, now=0.0)
+        write_energy = device.counters.write_energy_j
+        device.refresh_block(block, now=10.0)
+        assert device.counters.refresh_energy_j > 0
+        assert device.counters.write_energy_j == pytest.approx(write_energy)
+
+    def test_mark_expired_idempotent(self, device):
+        block, _w = device.append(0, MiB, HOUR, now=0.0)
+        device.mark_expired(block)
+        device.mark_expired(block)
+        assert device.blocks_expired == 1
+
+    def test_reset_zone_frees(self, device):
+        for _ in range(8):
+            device.append(2, MiB, HOUR, now=0.0)
+        dropped = device.reset_zone(2)
+        assert len(dropped) == 8
+        assert device.space.zone(2).is_empty
+
+
+class TestDamageWear:
+    def test_damage_accrues_per_write(self, device):
+        block, _w = device.append(0, MiB, HOUR, now=0.0)
+        damage = device.damage_of(0, 0)
+        assert damage == pytest.approx(1.0 / device.endurance_at(HOUR))
+
+    def test_gentle_writes_wear_less(self, device):
+        device.append(0, MiB, 60.0, now=0.0)
+        device.append(1, MiB, 7 * DAY, now=0.0)
+        assert device.damage_of(0, 0) < device.damage_of(1, 0)
+
+    def test_refresh_adds_damage(self, device):
+        block, _w = device.append(0, MiB, HOUR, now=0.0)
+        before = device.damage_of(0, 0)
+        device.refresh_block(block, now=10.0)
+        assert device.damage_of(0, 0) == pytest.approx(2 * before)
+
+    def test_max_and_mean_damage(self, device):
+        device.append(0, MiB, HOUR, now=0.0)
+        assert device.max_damage > 0
+        assert device.mean_damage < device.max_damage  # other slots untouched
+
+    def test_remaining_lifetime(self, device):
+        assert device.remaining_lifetime_fraction() == 1.0
+        device.append(0, MiB, HOUR, now=0.0)
+        assert device.remaining_lifetime_fraction() < 1.0
+
+
+class TestNoHousekeeping:
+    def test_no_autonomous_refresh_energy(self, device):
+        """The defining MRM property: idle device, zero refresh energy."""
+        device.append(0, MiB, HOUR, now=0.0)
+        assert device.accrue_refresh_energy(365 * 24 * 3600.0) == 0.0
+        assert device.counters.refresh_energy_j == 0.0

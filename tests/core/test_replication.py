@@ -1,0 +1,95 @@
+"""Tests for dynamically replicated memory over worn MRM slots [17]."""
+
+import pytest
+
+from repro.core.replication import FaultMap, ReplicationManager
+
+
+class TestFaultMap:
+    def test_compatibility(self):
+        a = FaultMap(slot=(0, 0), faulty=frozenset({1, 5}))
+        b = FaultMap(slot=(0, 1), faulty=frozenset({2, 7}))
+        c = FaultMap(slot=(0, 2), faulty=frozenset({5, 9}))
+        assert a.compatible(b)
+        assert not a.compatible(c)
+
+
+class TestReplicationManager:
+    def test_retire_draws_faults(self):
+        manager = ReplicationManager(seed=1)
+        fault_map = manager.retire(0, 0)
+        assert fault_map.faulty  # at least one fault by definition
+        assert manager.retired_slots == 1
+
+    def test_double_retirement_rejected(self):
+        manager = ReplicationManager(seed=1)
+        manager.retire(0, 0)
+        with pytest.raises(ValueError):
+            manager.retire(0, 0)
+
+    def test_compatible_slots_pair(self):
+        manager = ReplicationManager(
+            subblocks_per_slot=64, fault_density_at_retirement=0.02, seed=2
+        )
+        for index in range(10):
+            manager.retire(0, index)
+        # At 2% fault density over 64 sub-blocks, collisions are rare:
+        # nearly everything pairs.
+        assert manager.replicated_slots >= 4
+        assert manager.pairing_success_rate() >= 0.8
+
+    def test_recovery_approaches_half(self):
+        """The paper's [17] result: real fault maps almost always pair,
+        so recovered capacity approaches the 0.5 ceiling."""
+        manager = ReplicationManager(
+            subblocks_per_slot=128, fault_density_at_retirement=0.03, seed=3
+        )
+        for index in range(100):
+            manager.retire(index // 32, index % 32)
+        assert manager.recovered_capacity_fraction() > 0.4
+
+    def test_dense_faults_pair_worse(self):
+        sparse = ReplicationManager(
+            subblocks_per_slot=32, fault_density_at_retirement=0.02, seed=4
+        )
+        dense = ReplicationManager(
+            subblocks_per_slot=32, fault_density_at_retirement=0.4, seed=4
+        )
+        for index in range(40):
+            sparse.retire(0, index)
+            dense.retire(0, index)
+        assert (
+            dense.pairing_success_rate() <= sparse.pairing_success_rate()
+        )
+
+    def test_write_amplification_of_pairs(self):
+        manager = ReplicationManager(seed=5)
+        assert manager.write_amplification() == 1.0
+        for index in range(10):
+            manager.retire(0, index)
+        if manager.replicated_slots:
+            assert manager.write_amplification() == 2.0
+
+    def test_pairs_cover_all_subblocks(self):
+        manager = ReplicationManager(
+            subblocks_per_slot=64, fault_density_at_retirement=0.05, seed=6
+        )
+        for index in range(60):
+            manager.retire(1, index)
+        for pair in manager._pairs:
+            assert pair.covers_all_subblocks(64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicationManager(subblocks_per_slot=0)
+        with pytest.raises(ValueError):
+            ReplicationManager(fault_density_at_retirement=1.0)
+
+    def test_deterministic(self):
+        def run(seed):
+            manager = ReplicationManager(seed=seed)
+            for index in range(20):
+                manager.retire(0, index)
+            return manager.replicated_slots, manager.dead_slots
+
+        assert run(7) == run(7)

@@ -1,0 +1,155 @@
+"""Tests for the retention trade-off model — the physics behind MRM."""
+
+import math
+
+import pytest
+
+from repro.core.retention import RetentionModel, RetentionParams, TEN_YEARS
+from repro.devices.base import CellKind
+from repro.devices.catalog import RRAM_WEEBIT, STTMRAM_EVERSPIN
+from repro.units import DAY, HOUR, YEAR
+
+
+@pytest.fixture
+def model() -> RetentionModel:
+    return RetentionModel(RRAM_WEEBIT)
+
+
+class TestDeltaMapping:
+    def test_ten_years_needs_delta_about_40(self, model):
+        delta = model.delta_for_retention(TEN_YEARS)
+        assert 39 <= delta <= 41
+
+    def test_roundtrip(self, model):
+        for retention in (1.0, HOUR, DAY, YEAR):
+            delta = model.delta_for_retention(retention)
+            assert model.retention_for_delta(delta) == pytest.approx(retention)
+
+    def test_monotone(self, model):
+        assert model.delta_for_retention(DAY) < model.delta_for_retention(YEAR)
+
+    def test_below_tau0_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.delta_for_retention(1e-12)
+
+    def test_nonpositive_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.delta_for_retention(0.0)
+
+
+class TestWriteCost:
+    def test_relaxing_retention_cuts_write_energy(self, model):
+        reference = RRAM_WEEBIT.write_energy_j_per_byte
+        assert model.write_energy_j_per_byte(HOUR) < reference
+        assert model.write_energy_j_per_byte(1.0) < model.write_energy_j_per_byte(
+            HOUR
+        )
+
+    def test_smullen_scale_savings(self, model):
+        """Dropping 10y -> ~1s retention should save well over half the
+        write energy (Smullen et al. [43] report ~70%+)."""
+        saving = 1.0 - model.write_energy_j_per_byte(
+            1.0
+        ) / RRAM_WEEBIT.write_energy_j_per_byte
+        assert saving > 0.6
+
+    def test_latency_shrinks_with_retention(self, model):
+        assert model.write_latency_s(HOUR) < RRAM_WEEBIT.write_latency_s
+
+    def test_bandwidth_grows_with_relaxation(self, model):
+        assert model.write_bandwidth(HOUR) > RRAM_WEEBIT.write_bandwidth
+
+    def test_reference_point_is_identity(self, model):
+        assert model.write_energy_j_per_byte(TEN_YEARS) == pytest.approx(
+            RRAM_WEEBIT.write_energy_j_per_byte
+        )
+        assert model.endurance_cycles(TEN_YEARS) == pytest.approx(
+            RRAM_WEEBIT.endurance_cycles
+        )
+
+    def test_above_reference_clamps(self, model):
+        """Asking for more than the reference retention returns reference
+        costs (programming harder than spec is out of scope)."""
+        assert model.write_energy_j_per_byte(100 * YEAR) == pytest.approx(
+            RRAM_WEEBIT.write_energy_j_per_byte
+        )
+
+
+class TestEndurance:
+    def test_figure1_calibration(self, model):
+        """Relaxing the Weebit product (1e5 at 10y) to ~1 hour must land
+        near the RRAM technology potential (~1e12) — the calibration
+        documented in DESIGN.md."""
+        endurance = model.endurance_cycles(HOUR)
+        assert 1e11 <= endurance <= 1e13
+
+    def test_one_day_lands_mid_gap(self, model):
+        endurance = model.endurance_cycles(DAY)
+        assert 1e9 <= endurance <= 1e11
+
+    def test_cap_applies(self):
+        params = RetentionParams(endurance_slope=5.0, endurance_cap=1e15)
+        model = RetentionModel(RRAM_WEEBIT, params)
+        assert model.endurance_cycles(1.0) == 1e15
+
+    def test_monotone_in_relaxation(self, model):
+        values = [model.endurance_cycles(r) for r in (TEN_YEARS, YEAR, DAY, HOUR)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+
+class TestTemperature:
+    def test_heat_shortens_retention(self, model):
+        base = model.retention_at_temperature(HOUR, 55.0)
+        hot = model.retention_at_temperature(HOUR, 95.0)
+        assert hot < base
+
+    def test_reference_temperature_is_identity(self, model):
+        assert model.retention_at_temperature(HOUR, 55.0) == pytest.approx(HOUR)
+
+    def test_required_retention_inverts(self, model):
+        programmed = model.required_retention_for_temperature(HOUR, 95.0)
+        achieved = model.retention_at_temperature(programmed, 95.0)
+        assert achieved == pytest.approx(HOUR, rel=1e-6)
+
+    def test_hot_needs_stronger_programming(self, model):
+        assert model.required_retention_for_temperature(HOUR, 95.0) > HOUR
+
+    def test_absolute_zero_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.retention_at_temperature(HOUR, -300.0)
+
+
+class TestDensity:
+    def test_density_gain_bounded(self, model):
+        gain = model.density_multiplier(1.0)
+        assert 1.0 < gain <= 1.5
+
+    def test_no_gain_at_reference(self, model):
+        assert model.density_multiplier(TEN_YEARS) == pytest.approx(1.0)
+
+
+class TestDerivedProfile:
+    def test_profile_at_is_mrm(self, model):
+        profile = model.profile_at(6 * HOUR)
+        assert profile.cell is CellKind.MRM
+        assert profile.retention_s == 6 * HOUR
+        assert profile.endurance_cycles > RRAM_WEEBIT.endurance_cycles
+        assert profile.write_energy_j_per_byte < RRAM_WEEBIT.write_energy_j_per_byte
+        assert not profile.volatile
+
+    def test_profile_name_default(self, model):
+        assert "3600" in model.profile_at(HOUR).name
+
+    def test_works_for_sttmram_reference(self):
+        model = RetentionModel(STTMRAM_EVERSPIN)
+        assert model.endurance_cycles(HOUR) >= STTMRAM_EVERSPIN.endurance_cycles
+
+
+class TestParamsValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionParams(tau0_s=0.0)
+        with pytest.raises(ValueError):
+            RetentionParams(energy_exponent=-1.0)
+        with pytest.raises(ValueError):
+            RetentionParams(endurance_slope=-0.1)

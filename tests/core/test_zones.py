@@ -1,0 +1,102 @@
+"""Tests for the zoned address space."""
+
+import pytest
+
+from repro.core.zones import Block, BlockState, Zone, ZonedAddressSpace
+
+
+@pytest.fixture
+def space() -> ZonedAddressSpace:
+    return ZonedAddressSpace(num_zones=4, blocks_per_zone=8, block_bytes=1024)
+
+
+class TestZoneAppend:
+    def test_sequential_append(self, space):
+        zone = space.zone(0)
+        b0 = zone.append(1024, now=0.0, retention_s=60.0)
+        b1 = zone.append(512, now=1.0, retention_s=60.0)
+        assert (b0.index, b1.index) == (0, 1)
+        assert zone.write_pointer == 2
+        assert zone.written_bytes == 1536
+
+    def test_full_zone_rejects(self, space):
+        zone = space.zone(0)
+        for _ in range(8):
+            zone.append(1024, 0.0, 60.0)
+        assert zone.is_full
+        with pytest.raises(RuntimeError, match="full"):
+            zone.append(1024, 0.0, 60.0)
+
+    def test_oversized_block_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.zone(0).append(2048, 0.0, 60.0)
+
+    def test_bad_retention_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.zone(0).append(1024, 0.0, 0.0)
+
+    def test_reset_reclaims(self, space):
+        zone = space.zone(1)
+        blocks = [zone.append(1024, 0.0, 60.0) for _ in range(3)]
+        dropped = zone.reset()
+        assert dropped == blocks
+        assert all(b.state is BlockState.FREE for b in dropped)
+        assert zone.is_empty
+        assert zone.reset_count == 1
+
+
+class TestBlockDeadlines:
+    def test_deadline_arithmetic(self):
+        block = Block(zone_id=0, index=0, size_bytes=10, written_at=100.0,
+                      retention_s=60.0)
+        assert block.deadline == 160.0
+        assert block.age(130.0) == 30.0
+        assert block.remaining(130.0) == 30.0
+        assert not block.expired(160.0)
+        assert block.expired(161.0)
+
+    def test_age_clamps_at_zero(self):
+        block = Block(0, 0, 10, written_at=100.0, retention_s=60.0)
+        assert block.age(50.0) == 0.0
+
+
+class TestAddressSpace:
+    def test_capacity(self, space):
+        assert space.capacity_bytes == 4 * 8 * 1024
+
+    def test_zone_lookup_bounds(self, space):
+        with pytest.raises(KeyError):
+            space.zone(4)
+
+    def test_open_and_empty_zones(self, space):
+        assert len(space.empty_zones()) == 4
+        space.zone(0).append(1024, 0.0, 60.0)
+        assert len(space.empty_zones()) == 3
+        assert len(space.open_zones()) == 4  # zone 0 has room left
+
+    def test_expired_blocks_query(self, space):
+        zone = space.zone(0)
+        zone.append(1024, now=0.0, retention_s=10.0)
+        zone.append(1024, now=0.0, retention_s=100.0)
+        expired = space.expired_blocks(now=50.0)
+        assert len(expired) == 1
+        assert expired[0].retention_s == 10.0
+
+    def test_occupancy(self, space):
+        assert space.occupancy() == 0.0
+        space.zone(0).append(1024, 0.0, 60.0)
+        assert space.occupancy() == pytest.approx(1 / 32)
+
+    def test_block_address_unique_and_ordered(self, space):
+        addresses = []
+        for zone_id in range(4):
+            for _ in range(8):
+                block = space.zone(zone_id).append(1024, 0.0, 60.0)
+                addresses.append(space.block_address(block))
+        assert addresses == sorted(addresses)
+        assert len(set(addresses)) == 32
+        assert addresses[-1] == space.capacity_bytes - 1024
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            ZonedAddressSpace(0, 8, 1024)

@@ -1,0 +1,113 @@
+"""Tests for the technology catalog: internal consistency of the
+constants the paper's analysis depends on."""
+
+import pytest
+
+from repro.devices import catalog
+from repro.devices.base import CellKind
+from repro.devices.catalog import (
+    PRODUCT_ENDURANCE,
+    TECHNOLOGY_POTENTIAL_ENDURANCE,
+    all_profiles,
+    get_profile,
+)
+
+
+class TestLookup:
+    def test_get_profile(self):
+        assert get_profile("hbm3e").name == "hbm3e"
+
+    def test_unknown_profile_lists_names(self):
+        with pytest.raises(KeyError, match="hbm3e"):
+            get_profile("does-not-exist")
+
+    def test_all_profiles_sorted_unique(self):
+        profiles = all_profiles()
+        names = [p.name for p in profiles]
+        assert names == sorted(names)
+        assert len(set(names)) == len(names)
+        assert len(profiles) >= 10
+
+
+class TestCatalogConsistency:
+    """Sanity relations the paper's argument relies on."""
+
+    def test_dram_family_is_volatile(self):
+        for name in ("ddr5", "hbm3e", "lpddr5x"):
+            assert get_profile(name).volatile, name
+
+    def test_scm_family_is_non_volatile(self):
+        for name in ("nand-slc", "pcm-optane", "rram-weebit", "sttmram-everspin"):
+            assert get_profile(name).non_volatile, name
+
+    def test_hbm_has_highest_bandwidth(self):
+        hbm = get_profile("hbm3e")
+        for profile in all_profiles():
+            if profile.name != "hbm3e":
+                assert profile.read_bandwidth <= hbm.read_bandwidth, profile.name
+
+    def test_hbm_in_package_energy_beats_ddr(self):
+        assert (
+            get_profile("hbm3e").read_energy_j_per_byte
+            < get_profile("ddr5").read_energy_j_per_byte
+        )
+
+    def test_flash_writes_slower_than_reads(self):
+        for name in ("nand-slc", "nand-tlc", "nor-flash"):
+            profile = get_profile(name)
+            assert profile.write_latency_s > profile.read_latency_s, name
+
+    def test_resistive_write_energy_exceeds_read(self):
+        for name in ("pcm-optane", "rram-weebit", "sttmram-everspin"):
+            profile = get_profile(name)
+            assert (
+                profile.write_energy_j_per_byte > profile.read_energy_j_per_byte
+            ), name
+
+    def test_hbm_costs_more_than_ddr_and_flash(self):
+        hbm = get_profile("hbm3e")
+        assert hbm.cost_usd_per_gib > get_profile("ddr5").cost_usd_per_gib
+        assert hbm.cost_usd_per_gib > get_profile("nand-tlc").cost_usd_per_gib
+
+    def test_flash_densest(self):
+        tlc = get_profile("nand-tlc")
+        assert tlc.density_gbit_per_mm2 > get_profile("ddr5").density_gbit_per_mm2
+
+    def test_every_profile_cites_a_source(self):
+        for profile in all_profiles():
+            assert profile.source, f"{profile.name} has no source"
+
+
+class TestFigure1Tables:
+    def test_potential_never_below_product(self):
+        pairs = [
+            ("PCM (Intel Optane)", "PCM"),
+            ("RRAM (Weebit)", "RRAM"),
+            ("STT-MRAM (Everspin)", "STT-MRAM"),
+        ]
+        for product_key, tech_key in pairs:
+            assert (
+                TECHNOLOGY_POTENTIAL_ENDURANCE[tech_key]
+                >= PRODUCT_ENDURANCE[product_key]
+            )
+
+    def test_hbm_endurance_dominates(self):
+        hbm = PRODUCT_ENDURANCE["HBM / DRAM"]
+        for name, value in PRODUCT_ENDURANCE.items():
+            assert value <= hbm, name
+
+    def test_product_ordering_matches_paper(self):
+        """Flash (TLC) < RRAM product ~ SLC < Optane < STT-MRAM < DRAM."""
+        p = PRODUCT_ENDURANCE
+        assert p["NAND Flash (TLC)"] < p["NAND Flash (SLC)"]
+        assert p["RRAM (Weebit)"] <= p["PCM (Intel Optane)"]
+        assert p["PCM (Intel Optane)"] < p["STT-MRAM (Everspin)"]
+
+    def test_potentials_span_product_gap(self):
+        """RRAM potential is many orders above its product (the Figure 1
+        headroom claim)."""
+        gap = (
+            TECHNOLOGY_POTENTIAL_ENDURANCE["RRAM"]
+            / PRODUCT_ENDURANCE["RRAM (Weebit)"]
+        )
+        assert gap >= 1e6

@@ -1,0 +1,151 @@
+"""Tests for the Flash device and its page-mapped FTL."""
+
+import pytest
+
+from repro.devices.catalog import NAND_SLC
+from repro.devices.flash import FlashDevice, FlashTranslationLayer
+from repro.units import KiB, MiB
+
+
+def make_ftl(blocks=16, pages=8, op=0.25) -> FlashTranslationLayer:
+    return FlashTranslationLayer(
+        num_blocks=blocks, pages_per_block=pages, overprovision=op
+    )
+
+
+class TestFTLBasics:
+    def test_logical_space_excludes_overprovision(self):
+        ftl = make_ftl(blocks=16, pages=8, op=0.25)
+        assert ftl.logical_pages == 12 * 8
+
+    def test_write_maps_page(self):
+        ftl = make_ftl()
+        ftl.write(0)
+        assert ftl.is_mapped(0)
+        assert ftl.host_pages_written == 1
+        assert ftl.flash_pages_written == 1
+
+    def test_overwrite_invalidates_old_location(self):
+        ftl = make_ftl()
+        ftl.write(5)
+        first = ftl.mapping[5]
+        ftl.write(5)
+        second = ftl.mapping[5]
+        assert first != second
+        block, offset = first
+        assert offset not in ftl.blocks[block].valid
+
+    def test_trim_unmaps(self):
+        ftl = make_ftl()
+        ftl.write(3)
+        ftl.trim(3)
+        assert not ftl.is_mapped(3)
+
+    def test_bad_lpn_rejected(self):
+        ftl = make_ftl()
+        with pytest.raises(ValueError):
+            ftl.write(ftl.logical_pages)
+        with pytest.raises(ValueError):
+            ftl.write(-1)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            FlashTranslationLayer(num_blocks=2, pages_per_block=8)
+        with pytest.raises(ValueError):
+            FlashTranslationLayer(num_blocks=8, pages_per_block=8, overprovision=0.95)
+
+
+class TestGarbageCollection:
+    def test_sequential_overwrite_stays_near_wa_1(self):
+        """Pure sequential overwrite invalidates whole blocks: GC finds
+        empty victims and write amplification stays ~1."""
+        ftl = make_ftl(blocks=32, pages=16, op=0.1)
+        for _round in range(6):
+            for lpn in range(ftl.logical_pages):
+                ftl.write(lpn)
+        assert ftl.write_amplification() < 1.1
+
+    def test_random_overwrite_amplifies(self):
+        """Random overwrites at high utilization force GC to copy."""
+        import random
+
+        rnd = random.Random(7)
+        ftl = make_ftl(blocks=32, pages=16, op=0.1)
+        for lpn in range(ftl.logical_pages):  # fill completely
+            ftl.write(lpn)
+        for _ in range(5000):
+            ftl.write(rnd.randrange(ftl.logical_pages))
+        assert ftl.write_amplification() > 1.2
+        assert ftl.gc_pages_copied > 0
+
+    def test_wear_leveling_spreads_erases(self):
+        import random
+
+        rnd = random.Random(3)
+        ftl = make_ftl(blocks=32, pages=16, op=0.2)
+        for lpn in range(ftl.logical_pages):
+            ftl.write(lpn)
+        for _ in range(20000):
+            ftl.write(rnd.randrange(ftl.logical_pages))
+        assert ftl.max_erase_count() <= 3 * ftl.mean_erase_count() + 1
+
+    def test_never_exceeds_free_blocks(self):
+        import random
+
+        rnd = random.Random(11)
+        ftl = make_ftl(blocks=16, pages=8, op=0.25)
+        for _ in range(10000):
+            ftl.write(rnd.randrange(ftl.logical_pages))
+        # Completing without "out of free blocks" is the assertion.
+        assert ftl.write_amplification() >= 1.0
+
+
+class TestFlashDevice:
+    def test_requires_erase_block(self):
+        from repro.devices.catalog import DDR5
+
+        with pytest.raises(ValueError):
+            FlashDevice(profile=DDR5)
+
+    def test_write_charges_physical_bytes(self):
+        dev = FlashDevice(capacity_bytes=64 * MiB)
+        dev.write(0, 16 * KiB)
+        assert dev.counters.bytes_written == 16 * KiB
+
+    def test_write_amp_reflected_in_energy(self):
+        """After the pool churns, host writes cost more than their size."""
+        import random
+
+        rnd = random.Random(5)
+        dev = FlashDevice(capacity_bytes=64 * MiB, overprovision=0.1)
+        page = dev.page_bytes
+        pages = dev.logical_capacity_bytes // page
+        for lpn in range(pages):
+            dev.write(lpn * page, page)
+        for _ in range(4000):
+            dev.write(rnd.randrange(pages) * page, page)
+        assert dev.write_amplification() > 1.0
+        assert dev.counters.bytes_written > (pages + 4000) * page
+
+    def test_trim_reduces_future_gc(self):
+        dev = FlashDevice(capacity_bytes=64 * MiB)
+        dev.write(0, 1 * MiB)
+        dev.trim(0, 1 * MiB)
+        first_page = 0
+        assert not dev.ftl.is_mapped(first_page)
+
+    def test_logical_capacity_below_physical(self):
+        dev = FlashDevice(capacity_bytes=64 * MiB, overprovision=0.25)
+        assert dev.logical_capacity_bytes < dev.capacity_bytes
+
+    def test_read_beyond_logical_rejected(self):
+        dev = FlashDevice(capacity_bytes=64 * MiB)
+        with pytest.raises(ValueError):
+            dev.read(dev.logical_capacity_bytes - 1, 2)
+
+    def test_lifetime_host_writes(self):
+        dev = FlashDevice(capacity_bytes=64 * MiB)
+        tbw = dev.lifetime_host_writes_bytes()
+        assert tbw == pytest.approx(
+            dev.capacity_bytes * NAND_SLC.endurance_cycles, rel=0.01
+        )

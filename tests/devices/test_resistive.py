@@ -1,0 +1,136 @@
+"""Tests for PCM, RRAM and STT-MRAM resistive device models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.catalog import PCM_OPTANE, RRAM_WEEBIT
+from repro.devices.pcm import PCMDevice
+from repro.devices.resistive import ResistiveDevice
+from repro.devices.rram import RRAMDevice
+from repro.devices.sttmram import STTMRAMDevice
+from repro.units import MiB
+
+
+class TestProgramVerify:
+    def test_expected_pulses_above_one(self):
+        dev = ResistiveDevice(RRAM_WEEBIT, MiB, pulse_success_probability=0.5)
+        assert dev.expected_pulses_per_write() > 1.0
+
+    def test_perfect_pulse_needs_exactly_one(self):
+        dev = ResistiveDevice(RRAM_WEEBIT, MiB, pulse_success_probability=1.0)
+        assert dev.expected_pulses_per_write() == pytest.approx(1.0)
+
+    def test_truncated_geometric_bounded(self):
+        dev = ResistiveDevice(
+            RRAM_WEEBIT, MiB, pulse_success_probability=0.01, max_pulses=4
+        )
+        assert dev.expected_pulses_per_write() <= 4.0
+
+    def test_write_energy_scales_with_pulses(self):
+        easy = ResistiveDevice(RRAM_WEEBIT, MiB, pulse_success_probability=1.0)
+        hard = ResistiveDevice(RRAM_WEEBIT, MiB, pulse_success_probability=0.5)
+        e_easy = easy.write(0, 1024).energy_j
+        e_hard = hard.write(0, 1024).energy_j
+        assert e_hard > e_easy
+
+    def test_mlc_derates_success(self):
+        slc = ResistiveDevice(RRAM_WEEBIT, MiB, bits_per_cell=1)
+        mlc = ResistiveDevice(RRAM_WEEBIT, MiB, bits_per_cell=2)
+        assert mlc.pulse_success_probability < slc.pulse_success_probability
+        assert mlc.effective_density_multiplier() == 2.0
+
+    def test_stochastic_mode_reproducible(self):
+        def run(seed):
+            dev = ResistiveDevice(
+                RRAM_WEEBIT,
+                MiB,
+                pulse_success_probability=0.6,
+                rng=np.random.default_rng(seed),
+            )
+            for i in range(100):
+                dev.write(0, 64)
+            return dev.total_pulses
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_mean_pulses_tracks_expectation(self):
+        dev = ResistiveDevice(
+            RRAM_WEEBIT,
+            MiB,
+            pulse_success_probability=0.5,
+            rng=np.random.default_rng(0),
+        )
+        for _ in range(2000):
+            dev.write(0, 64)
+        assert dev.mean_pulses() == pytest.approx(
+            dev.expected_pulses_per_write(), rel=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResistiveDevice(RRAM_WEEBIT, MiB, pulse_success_probability=0.0)
+        with pytest.raises(ValueError):
+            ResistiveDevice(RRAM_WEEBIT, MiB, bits_per_cell=0)
+        with pytest.raises(ValueError):
+            ResistiveDevice(RRAM_WEEBIT, MiB, max_pulses=0)
+
+
+class TestPCM:
+    def test_drift_grows_with_age(self):
+        dev = PCMDevice(capacity_bytes=MiB)
+        assert dev.drift_resistance_ratio(1e6) > dev.drift_resistance_ratio(1e3)
+        assert dev.drift_resistance_ratio(0.5) == 1.0
+
+    def test_mlc_margin_shrinks_with_age(self):
+        dev = PCMDevice(capacity_bytes=MiB, bits_per_cell=2)
+        fresh = dev.mlc_read_margin(1.0)
+        aged = dev.mlc_read_margin(1e8)
+        assert aged < fresh
+
+    def test_slc_more_margin_than_mlc(self):
+        slc = PCMDevice(capacity_bytes=MiB, bits_per_cell=1)
+        mlc = PCMDevice(capacity_bytes=MiB, bits_per_cell=3)
+        # Same absolute drift consumes more of the narrower MLC window.
+        assert mlc.mlc_read_margin(1e7) < slc.mlc_read_margin(1e7)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            PCMDevice(capacity_bytes=MiB).drift_resistance_ratio(-1.0)
+
+
+class TestRRAM:
+    def test_sneak_tax_only_in_crossbar(self):
+        flat = RRAMDevice(capacity_bytes=MiB, crossbar_rows=0)
+        xbar = RRAMDevice(capacity_bytes=MiB, crossbar_rows=1024)
+        assert flat.sneak_current_tax() == 1.0
+        assert xbar.sneak_current_tax() > 1.0
+
+    def test_crossbar_read_energy_higher(self):
+        flat = RRAMDevice(capacity_bytes=MiB, crossbar_rows=0)
+        xbar = RRAMDevice(capacity_bytes=MiB, crossbar_rows=1024)
+        assert xbar.read(0, 1024).energy_j > flat.read(0, 1024).energy_j
+
+    def test_crossbar_density_gain(self):
+        xbar = RRAMDevice(capacity_bytes=MiB, crossbar_rows=1024, bits_per_cell=2)
+        assert xbar.crossbar_density_multiplier() == 6.0
+
+
+class TestSTTMRAM:
+    def test_read_disturb_negligible_at_workload_rates(self):
+        """Even at the paper's >1000:1 read ratios, MTJ read disturb
+        stays irrelevant — no scrubbing housekeeping needed."""
+        dev = STTMRAMDevice(capacity_bytes=MiB)
+        reads_per_cell_5y = 1e9
+        assert dev.expected_read_disturbs(reads_per_cell_5y) < 1e-6
+
+    def test_scrub_interval_effectively_infinite(self):
+        dev = STTMRAMDevice(capacity_bytes=MiB)
+        interval = dev.scrub_interval_for_disturb_budget(
+            read_rate_per_cell_hz=10.0
+        )
+        assert interval > 1e6  # far beyond any deployment lifetime
+
+    def test_zero_rate_never_scrubs(self):
+        dev = STTMRAMDevice(capacity_bytes=MiB)
+        assert dev.scrub_interval_for_disturb_budget(0.0) == float("inf")

@@ -1,0 +1,121 @@
+"""Tests for the analytic BCH model and the block-size analysis."""
+
+import math
+
+import pytest
+
+from repro.ecc.bch import BCHCode, design_bch
+from repro.ecc.blockcodes import (
+    overhead_vs_block_size,
+    required_correction_capability,
+)
+from repro.ecc.hamming import HammingCodec
+
+
+class TestBCHCode:
+    def test_parameters(self):
+        code = BCHCode(n=1023, k=923, t=10)
+        assert code.check_bits == 100
+        assert code.rate == pytest.approx(923 / 1023)
+        assert code.overhead == pytest.approx(100 / 1023)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BCHCode(n=2, k=1, t=1)
+        with pytest.raises(ValueError):
+            BCHCode(n=10, k=10, t=1)
+
+    def test_failure_probability_monotone_in_rber(self):
+        code = BCHCode(n=1023, k=923, t=10)
+        values = [code.block_failure_probability(r) for r in (1e-5, 1e-4, 1e-3)]
+        assert values[0] < values[1] < values[2]
+
+    def test_more_correction_lower_failure(self):
+        weak = BCHCode(n=1023, k=963, t=6)
+        strong = BCHCode(n=1023, k=903, t=12)
+        rber = 1e-3
+        assert strong.block_failure_probability(
+            rber
+        ) < weak.block_failure_probability(rber)
+
+    def test_extremes(self):
+        code = BCHCode(n=255, k=231, t=3)
+        assert code.block_failure_probability(0.0) == 0.0
+        assert code.block_failure_probability(1.0) == 1.0
+
+    def test_t0_code_matches_closed_form(self):
+        """t=0: failure = 1 - (1-p)^n exactly."""
+        code = BCHCode(n=128, k=128, t=0)
+        p = 1e-3
+        assert code.block_failure_probability(p) == pytest.approx(
+            1 - (1 - p) ** 128, rel=1e-9
+        )
+
+    def test_matches_hamming_t1_shape(self):
+        """A t=1 code over 72 bits should match the SEC-DED analytic
+        double-error probability."""
+        codec = HammingCodec(64)
+        bch = BCHCode(n=72, k=64, t=1)
+        for rber in (1e-4, 1e-3, 1e-2):
+            assert bch.block_failure_probability(rber) == pytest.approx(
+                codec.uncorrectable_probability(rber), rel=1e-6
+            )
+
+    def test_uber(self):
+        code = BCHCode(n=1023, k=923, t=10)
+        assert code.uncorrectable_bit_error_rate(1e-3) < 1.0
+
+
+class TestDesignBCH:
+    def test_meets_target(self):
+        code = design_bch(4096, rber=1e-4, target_block_failure=1e-12)
+        assert code.block_failure_probability(1e-4) <= 1e-12
+        assert code.k == 4096
+
+    def test_minimal_t(self):
+        code = design_bch(4096, rber=1e-4, target_block_failure=1e-12)
+        weaker = BCHCode(
+            n=4096 + (code.n - code.k) // code.t * (code.t - 1),
+            k=4096,
+            t=code.t - 1,
+        )
+        assert weaker.block_failure_probability(1e-4) > 1e-12
+
+    def test_zero_rber_needs_no_code(self):
+        code = design_bch(1024, rber=0.0)
+        assert code.t == 0
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(ValueError, match="no BCH code"):
+            design_bch(64, rber=0.4, target_block_failure=1e-15, max_t=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            design_bch(0, 1e-4)
+        with pytest.raises(ValueError):
+            design_bch(64, 1e-4, target_block_failure=2.0)
+
+
+class TestDolinarEffect:
+    def test_overhead_falls_with_block_size(self):
+        """The paper's [8] claim: larger code words need proportionally
+        less redundancy at equal per-bit protection."""
+        points = overhead_vs_block_size(rber=1e-4, target_block_failure=1e-12)
+        overheads = [p.overhead for p in points]
+        assert overheads[0] > overheads[-1]
+        # And the end-to-end drop is substantial (>2x).
+        assert overheads[0] / overheads[-1] > 2.0
+
+    def test_large_blocks_beat_secded_overhead(self):
+        """At MRM block sizes the BCH overhead undercuts the (72,64)
+        SEC-DED ~11% redundancy."""
+        points = overhead_vs_block_size(
+            rber=1e-4, target_block_failure=1e-12,
+            block_sizes_bits=(65536,),
+        )
+        assert points[0].overhead < HammingCodec(64).overhead
+
+    def test_required_t_grows_with_block(self):
+        small = required_correction_capability(64, 1e-4, 1e-12)
+        large = required_correction_capability(65536, 1e-4, 1e-12)
+        assert large > small

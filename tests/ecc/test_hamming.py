@@ -1,0 +1,104 @@
+"""Bit-exact tests for the extended Hamming SEC-DED codec."""
+
+import random
+
+import pytest
+
+from repro.ecc.hamming import DecodeStatus, HammingCodec
+
+
+@pytest.fixture
+def codec() -> HammingCodec:
+    return HammingCodec(64)
+
+
+class TestGeometry:
+    def test_72_64(self, codec):
+        assert codec.data_bits == 64
+        assert codec.parity_bits == 7
+        assert codec.codeword_bits == 72
+        assert codec.overhead == pytest.approx(8 / 72)
+
+    def test_other_sizes(self):
+        assert HammingCodec(8).codeword_bits == 13  # 8 + 4 + 1
+        assert HammingCodec(1).codeword_bits == 4  # 1 + 2 + 1
+
+
+class TestRoundTrip:
+    def test_clean_roundtrip(self, codec):
+        rnd = random.Random(0)
+        for _ in range(200):
+            data = rnd.getrandbits(64)
+            word = codec.encode(data)
+            decoded, status = codec.decode(word)
+            assert decoded == data
+            assert status is DecodeStatus.OK
+
+    def test_edge_patterns(self, codec):
+        for data in (0, (1 << 64) - 1, 0xAAAAAAAAAAAAAAAA, 0x5555555555555555):
+            decoded, status = codec.decode(codec.encode(data))
+            assert decoded == data and status is DecodeStatus.OK
+
+    def test_out_of_range_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(1 << 64)
+        with pytest.raises(ValueError):
+            codec.decode(1 << 72)
+
+
+class TestSingleErrorCorrection:
+    def test_every_single_bit_error_corrected(self, codec):
+        data = 0xDEADBEEFCAFEF00D
+        word = codec.encode(data)
+        for position in range(codec.codeword_bits):
+            corrupted = word ^ (1 << position)
+            decoded, status = codec.decode(corrupted)
+            assert decoded == data, f"bit {position} not corrected"
+            assert status in (DecodeStatus.CORRECTED, DecodeStatus.PARITY_FIXED)
+
+    def test_parity_bit_error_classified(self, codec):
+        word = codec.encode(12345)
+        decoded, status = codec.decode(word ^ 1)  # flip overall parity
+        assert decoded == 12345
+        assert status is DecodeStatus.PARITY_FIXED
+
+
+class TestDoubleErrorDetection:
+    def test_all_nearby_double_errors_detected(self, codec):
+        data = 0x0123456789ABCDEF
+        word = codec.encode(data)
+        rnd = random.Random(1)
+        for _ in range(300):
+            i, j = rnd.sample(range(codec.codeword_bits), 2)
+            corrupted = word ^ (1 << i) ^ (1 << j)
+            _decoded, status = codec.decode(corrupted)
+            assert status is DecodeStatus.DETECTED, f"bits {i},{j} missed"
+
+
+class TestAnalyticCrossCheck:
+    def test_uncorrectable_probability_matches_monte_carlo(self, codec):
+        """The analytic >=2-errors probability should match simulation."""
+        rber = 0.01
+        rnd = random.Random(2)
+        trials = 20000
+        failures = 0
+        data = 0x1122334455667788
+        word = codec.encode(data)
+        for _ in range(trials):
+            corrupted = word
+            flips = 0
+            for position in range(codec.codeword_bits):
+                if rnd.random() < rber:
+                    corrupted ^= 1 << position
+                    flips += 1
+            if flips >= 2:
+                failures += 1
+        observed = failures / trials
+        predicted = codec.uncorrectable_probability(rber)
+        assert observed == pytest.approx(predicted, rel=0.15)
+
+    def test_probability_bounds(self, codec):
+        assert codec.uncorrectable_probability(0.0) == 0.0
+        assert 0 < codec.uncorrectable_probability(0.01) < 1
+        with pytest.raises(ValueError):
+            codec.uncorrectable_probability(1.5)

@@ -1,0 +1,71 @@
+"""Tests for retention-aware ECC selection."""
+
+import pytest
+
+from repro.core.errors import RetentionErrorModel
+from repro.ecc.policy import RetentionAwareECC
+from repro.units import DAY, HOUR
+
+
+@pytest.fixture
+def policy() -> RetentionAwareECC:
+    return RetentionAwareECC(block_data_bits=4096, target_block_failure=1e-12)
+
+
+class TestChoose:
+    def test_choice_meets_budget_at_worst_age(self, policy):
+        choice = policy.choose(spec_retention_s=HOUR)
+        assert choice.achieved_block_failure <= 1e-12
+        assert choice.worst_read_age_s == HOUR
+
+    def test_earlier_reads_need_weaker_code(self, policy):
+        full_age = policy.choose(HOUR, worst_read_age_s=HOUR)
+        young = policy.choose(HOUR, worst_read_age_s=60.0)
+        assert young.code.t <= full_age.code.t
+        assert young.overhead <= full_age.overhead
+
+    def test_retention_and_code_strength_tradeoff(self, policy):
+        """Same read horizon: programming longer retention lets the code
+        shrink — the two-halves-of-one-knob claim."""
+        weak_cell = policy.choose(HOUR, worst_read_age_s=HOUR)
+        strong_cell = policy.choose(DAY, worst_read_age_s=HOUR)
+        assert strong_cell.code.t <= weak_cell.code.t
+
+    def test_negative_age_rejected(self, policy):
+        with pytest.raises(ValueError):
+            policy.choose(HOUR, worst_read_age_s=-1.0)
+
+    def test_custom_error_model(self):
+        harsh = RetentionAwareECC(
+            error_model=RetentionErrorModel(rber_at_spec=1e-2),
+            block_data_bits=4096,
+        )
+        mild = RetentionAwareECC(
+            error_model=RetentionErrorModel(rber_at_spec=1e-6),
+            block_data_bits=4096,
+        )
+        assert harsh.choose(HOUR).code.t > mild.choose(HOUR).code.t
+
+
+class TestRefreshDeadline:
+    def test_strong_code_outlives_spec(self, policy):
+        strong = policy.choose(HOUR).code
+        deadline = policy.refresh_deadline_for_code(strong, HOUR)
+        assert deadline == HOUR  # chosen to be safe through the spec
+
+    def test_weak_code_forces_early_refresh(self, policy):
+        weak = policy.choose(HOUR, worst_read_age_s=60.0).code
+        deadline = policy.refresh_deadline_for_code(weak, HOUR)
+        assert 0.0 < deadline < HOUR
+
+    def test_deadline_bisection_is_tight(self, policy):
+        weak = policy.choose(HOUR, worst_read_age_s=60.0).code
+        deadline = policy.refresh_deadline_for_code(weak, HOUR)
+        rber_at_deadline = policy.error_model.rber(deadline, HOUR)
+        assert weak.block_failure_probability(
+            rber_at_deadline
+        ) <= policy.target_block_failure * 1.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionAwareECC(block_data_bits=4)

@@ -1,0 +1,103 @@
+"""Tests for lifetime estimation and wear-leveling evaluation."""
+
+import pytest
+
+from repro.devices.catalog import NAND_SLC, RRAM_POTENTIAL
+from repro.endurance.lifetime import (
+    device_lifetime_s,
+    drive_writes_per_day,
+    sustainable_write_rate,
+)
+from repro.endurance.wearleveling import (
+    WearLevelingSimulator,
+    WearStreamConfig,
+    compare_policies,
+)
+from repro.units import GiB, YEAR
+
+
+class TestLifetime:
+    def test_basic_arithmetic(self):
+        lifetime = device_lifetime_s(
+            NAND_SLC, capacity_bytes=GiB, write_rate_bytes_per_s=1e6
+        )
+        expected = 1e5 * GiB / 1e6
+        assert lifetime == pytest.approx(expected)
+
+    def test_write_amplification_shortens_life(self):
+        base = device_lifetime_s(NAND_SLC, GiB, 1e6)
+        amplified = device_lifetime_s(NAND_SLC, GiB, 1e6, write_amplification=2.0)
+        assert amplified == pytest.approx(base / 2)
+
+    def test_skewed_wear_shortens_life(self):
+        base = device_lifetime_s(NAND_SLC, GiB, 1e6)
+        skewed = device_lifetime_s(
+            NAND_SLC, GiB, 1e6, wear_leveling_efficiency=0.5
+        )
+        assert skewed == pytest.approx(base / 2)
+
+    def test_sustainable_rate_inverts_lifetime(self):
+        rate = sustainable_write_rate(NAND_SLC, GiB, target_lifetime_s=YEAR)
+        assert device_lifetime_s(NAND_SLC, GiB, rate) == pytest.approx(YEAR)
+
+    def test_dwpd(self):
+        dwpd = drive_writes_per_day(
+            NAND_SLC, write_rate_bytes_per_s=GiB / 86400.0, capacity_bytes=GiB
+        )
+        assert dwpd == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            device_lifetime_s(NAND_SLC, 0, 1.0)
+        with pytest.raises(ValueError):
+            device_lifetime_s(NAND_SLC, GiB, 1.0, write_amplification=0.5)
+        with pytest.raises(ValueError):
+            device_lifetime_s(NAND_SLC, GiB, 1.0, wear_leveling_efficiency=0.0)
+
+
+class TestWearLeveling:
+    def test_no_leveling_skews_badly(self):
+        config = WearStreamConfig(num_blocks=128, writes=30_000, zipf_s=1.3)
+        report = WearLevelingSimulator(config, policy="none").run()
+        assert report["imbalance"] > 5.0
+        assert report["lifetime_multiplier"] < 0.3
+
+    def test_dynamic_leveling_flattens(self):
+        config = WearStreamConfig(num_blocks=128, writes=30_000, zipf_s=1.3)
+        report = WearLevelingSimulator(config, policy="dynamic").run()
+        assert report["imbalance"] < 1.5
+        assert report["lifetime_multiplier"] > 0.7
+
+    def test_policy_ranking(self):
+        """none < static/dynamic on lifetime, on the same stream."""
+        reports = {r["policy"]: r for r in compare_policies(
+            WearStreamConfig(num_blocks=64, writes=20_000, zipf_s=1.3)
+        )}
+        assert (
+            reports["none"]["lifetime_multiplier"]
+            < reports["dynamic"]["lifetime_multiplier"]
+        )
+        assert (
+            reports["none"]["lifetime_multiplier"]
+            < reports["static"]["lifetime_multiplier"]
+        )
+
+    def test_total_writes_preserved(self):
+        config = WearStreamConfig(num_blocks=64, writes=10_000)
+        for policy in WearLevelingSimulator.POLICIES:
+            report = WearLevelingSimulator(config, policy=policy).run()
+            assert report["writes"] == 10_000
+
+    def test_reproducible(self):
+        config = WearStreamConfig(num_blocks=64, writes=5_000, seed=9)
+        a = WearLevelingSimulator(config, policy="dynamic").run()
+        b = WearLevelingSimulator(config, policy="dynamic").run()
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WearStreamConfig(num_blocks=1, writes=100)
+        with pytest.raises(ValueError):
+            WearStreamConfig(zipf_s=1.0)
+        with pytest.raises(ValueError):
+            WearLevelingSimulator(WearStreamConfig(), policy="magic")

@@ -1,0 +1,184 @@
+"""Tests for the paged allocator and KV-cache manager."""
+
+import pytest
+
+from repro.inference.kvcache import KVCacheManager
+from repro.inference.paging import OutOfPages, PagedAllocator, PageTable
+from repro.units import MiB
+from repro.workload.model import LLAMA2_70B
+
+
+class TestPagedAllocator:
+    def test_allocate_release_cycle(self):
+        alloc = PagedAllocator(total_pages=4, page_bytes=1024)
+        pages = [alloc.allocate() for _ in range(4)]
+        assert len(set(pages)) == 4
+        assert alloc.free_pages == 0
+        with pytest.raises(OutOfPages):
+            alloc.allocate()
+        alloc.release(pages[0])
+        assert alloc.free_pages == 1
+
+    def test_refcounted_sharing(self):
+        alloc = PagedAllocator(4, 1024)
+        page = alloc.allocate()
+        alloc.share(page)
+        assert alloc.refcount(page) == 2
+        alloc.release(page)
+        assert alloc.refcount(page) == 1
+        assert alloc.free_pages == 3  # still held
+        alloc.release(page)
+        assert alloc.free_pages == 4
+
+    def test_release_unallocated_rejected(self):
+        alloc = PagedAllocator(4, 1024)
+        with pytest.raises(KeyError):
+            alloc.release(0)
+
+    def test_share_unallocated_rejected(self):
+        alloc = PagedAllocator(4, 1024)
+        with pytest.raises(KeyError):
+            alloc.share(1)
+
+    def test_utilization(self):
+        alloc = PagedAllocator(4, 1024)
+        alloc.allocate()
+        assert alloc.utilization() == 0.25
+
+
+class TestPageTable:
+    def make(self, pages=16):
+        alloc = PagedAllocator(pages, page_bytes=16 * 1024)
+        return alloc, PageTable(alloc, tokens_per_page=16)
+
+    def test_append_allocates_on_boundary(self):
+        _alloc, table = self.make()
+        assert table.append_tokens(16) == 1
+        assert table.append_tokens(1) == 1  # crosses into a second page
+        assert table.append_tokens(15) == 0  # fills page 2 exactly
+        assert table.tokens == 32
+
+    def test_all_or_nothing_allocation(self):
+        alloc, table = self.make(pages=2)
+        with pytest.raises(OutOfPages):
+            table.append_tokens(3 * 16)
+        assert table.tokens == 0
+        assert alloc.free_pages == 2
+
+    def test_free_releases_everything(self):
+        alloc, table = self.make()
+        table.append_tokens(40)
+        released = table.free()
+        assert released == 3
+        assert alloc.free_pages == 16
+        assert table.tokens == 0
+
+    def test_shared_prefix_mapping(self):
+        alloc = PagedAllocator(16, 16 * 1024)
+        source = PageTable(alloc, tokens_per_page=16)
+        source.append_tokens(40)  # 3 pages
+        clone = PageTable(alloc, tokens_per_page=16)
+        shared = clone.map_shared_prefix(source, prefix_tokens=40)
+        assert shared == 2  # only whole pages (40 // 16)
+        assert clone.tokens == 32
+        assert alloc.refcount(source.pages[0]) == 2
+
+    def test_prefix_into_nonempty_rejected(self):
+        alloc = PagedAllocator(16, 16 * 1024)
+        source = PageTable(alloc, 16)
+        source.append_tokens(16)
+        other = PageTable(alloc, 16)
+        other.append_tokens(16)
+        with pytest.raises(RuntimeError):
+            other.map_shared_prefix(source, 16)
+
+    def test_fragmentation_bounded_by_one_page(self):
+        """PagedAttention's claim [22]: waste < one page per context."""
+        alloc, table = self.make()
+        table.append_tokens(17)
+        assert table.fragmentation_bytes() < alloc.page_bytes
+
+
+class TestKVCacheManager:
+    def make(self, capacity_mb=512, sharing=False) -> KVCacheManager:
+        return KVCacheManager(
+            LLAMA2_70B,
+            capacity_bytes=capacity_mb * MiB,
+            tokens_per_page=16,
+            enable_prefix_sharing=sharing,
+        )
+
+    def test_page_bytes_multi_mb(self):
+        """16 vectors x 320 KiB = 5 MiB pages — 'several MBs' [22]."""
+        kv = self.make()
+        assert kv.page_bytes == 16 * LLAMA2_70B.kv_bytes_per_token
+        assert kv.page_bytes > 4 * MiB
+
+    def test_register_append_release(self):
+        kv = self.make()
+        kv.register(1, prompt_tokens=100)
+        assert kv.context_tokens(1) == 100
+        kv.append(1, 1)
+        assert kv.context_tokens(1) == 101
+        assert kv.context_bytes(1) == 101 * LLAMA2_70B.kv_bytes_per_token
+        released = kv.release(1)
+        assert released > 0
+        assert kv.live_contexts() == []
+
+    def test_double_register_rejected(self):
+        kv = self.make()
+        kv.register(1, 10)
+        with pytest.raises(ValueError):
+            kv.register(1, 10)
+
+    def test_unknown_context_rejected(self):
+        kv = self.make()
+        with pytest.raises(KeyError):
+            kv.append(99)
+        with pytest.raises(KeyError):
+            kv.release(99)
+
+    def test_admission_check(self):
+        kv = self.make(capacity_mb=64)  # ~12 pages of 5 MiB
+        assert kv.can_admit(100)
+        assert not kv.can_admit(100_000)
+
+    def test_failed_register_leaks_nothing(self):
+        kv = self.make(capacity_mb=64)
+        free_before = kv.free_bytes()
+        with pytest.raises(Exception):
+            kv.register(1, 100_000)
+        assert kv.free_bytes() == free_before
+
+    def test_prefix_sharing_saves_pages(self):
+        kv = self.make(sharing=True)
+        kv.register(1, prompt_tokens=160, prefix_key="system-prompt-v1")
+        used_before = kv.used_bytes()
+        allocated, shared = kv.register(
+            2, prompt_tokens=160, prefix_key="system-prompt-v1"
+        )
+        assert shared == 160
+        assert allocated == 0
+        assert kv.used_bytes() == used_before  # no new pages
+        assert kv.prefix_hits == 1
+
+    def test_prefix_sharing_disabled_by_default(self):
+        kv = self.make(sharing=False)
+        kv.register(1, 160, prefix_key="k")
+        allocated, shared = kv.register(2, 160, prefix_key="k")
+        assert shared == 0
+        assert allocated > 0
+
+    def test_release_source_keeps_shared_pages_alive(self):
+        kv = self.make(sharing=True)
+        kv.register(1, 160, prefix_key="k")
+        kv.register(2, 160, prefix_key="k")
+        kv.release(1)  # source gone; clone still holds references
+        assert kv.context_tokens(2) == 160
+        kv.release(2)
+        assert kv.used_bytes() == 0
+
+    def test_fragmentation_reporting(self):
+        kv = self.make()
+        kv.register(1, prompt_tokens=17)
+        assert 0 < kv.total_fragmentation_bytes() < kv.page_bytes

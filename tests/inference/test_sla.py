@@ -1,0 +1,65 @@
+"""Tests for SLA-attainment reporting."""
+
+import pytest
+
+from repro.inference.accelerator import H100_80G
+from repro.inference.cluster import (
+    Cluster,
+    DEFAULT_SLA_THRESHOLDS,
+    tensor_parallel_group,
+)
+from repro.sim import Simulator
+from repro.workload.model import LLAMA2_70B
+from repro.workload.requests import SLAClass
+from repro.workload.traces import generate_trace, replay_trace
+
+
+def run_cluster(rate=1.0, sla_mix=None, duration=10.0, engines=2):
+    from repro.workload.requests import PoissonArrivals
+
+    sim = Simulator()
+    acc = tensor_parallel_group(H100_80G, 4)
+    cluster = Cluster(sim, acc, LLAMA2_70B, num_engines=engines,
+                      max_batch_size=16)
+    trace = generate_trace(
+        LLAMA2_70B,
+        arrivals=PoissonArrivals(rate),
+        duration_s=duration,
+        sla_mix=sla_mix,
+        seed=6,
+    )
+    return cluster.run(replay_trace(trace))
+
+
+class TestSLAAttainment:
+    def test_reported_per_class(self):
+        report = run_cluster(
+            sla_mix={SLAClass.INTERACTIVE: 0.6, SLAClass.BEST_EFFORT: 0.4}
+        )
+        assert set(report.sla_attainment) <= {
+            SLAClass.INTERACTIVE, SLAClass.BEST_EFFORT
+        }
+        for value in report.sla_attainment.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_best_effort_always_attained(self):
+        report = run_cluster(sla_mix={SLAClass.BEST_EFFORT: 1.0})
+        assert report.sla_attainment[SLAClass.BEST_EFFORT] == 1.0
+
+    def test_light_load_meets_interactive_slo(self):
+        report = run_cluster(rate=0.5, duration=10.0)
+        assert report.sla_attainment[SLAClass.INTERACTIVE] > 0.8
+
+    def test_overload_degrades_attainment(self):
+        light = run_cluster(rate=0.5, duration=10.0, engines=1)
+        heavy = run_cluster(rate=6.0, duration=10.0, engines=1)
+        assert (
+            heavy.sla_attainment[SLAClass.INTERACTIVE]
+            <= light.sla_attainment[SLAClass.INTERACTIVE]
+        )
+
+    def test_default_thresholds_sane(self):
+        interactive = DEFAULT_SLA_THRESHOLDS[SLAClass.INTERACTIVE]
+        best_effort = DEFAULT_SLA_THRESHOLDS[SLAClass.BEST_EFFORT]
+        assert interactive[0] < best_effort[0]
+        assert interactive[1] < best_effort[1]

@@ -1,0 +1,98 @@
+"""Failure injection: real bit errors through the real codec.
+
+The analytic pipeline (RBER model -> BCH failure probability -> refresh
+deadlines) is only trustworthy if it matches what actual corrupted bits
+do to an actual decoder.  These tests draw bit flips from the retention
+error model and push them through the bit-exact Hamming codec:
+
+- at ages where the analytic model says SEC-DED is safe, Monte-Carlo
+  decoding must (almost) always succeed;
+- past the deadline the observed uncorrectable rate must match the
+  analytic prediction within sampling error;
+- a refresh (age reset) must restore decodability.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import RetentionErrorModel
+from repro.ecc.hamming import DecodeStatus, HammingCodec
+
+
+def inject_errors(word: int, bits: int, rber: float, rnd: random.Random) -> int:
+    for position in range(bits):
+        if rnd.random() < rber:
+            word ^= 1 << position
+    return word
+
+
+class TestFailureInjection:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return HammingCodec(64), RetentionErrorModel(rber_at_spec=1e-4)
+
+    def _uncorrectable_rate(self, codec, rber, trials=4000, seed=1):
+        rnd = random.Random(seed)
+        data = 0xFEEDFACECAFEBEEF
+        word = codec.encode(data)
+        failures = 0
+        for _ in range(trials):
+            corrupted = inject_errors(word, codec.codeword_bits, rber, rnd)
+            decoded, status = codec.decode(corrupted)
+            if status is DecodeStatus.DETECTED or decoded != data:
+                failures += 1
+        return failures / trials
+
+    def test_fresh_data_always_decodes(self, setup):
+        codec, errors = setup
+        rber = errors.rber(age_s=1.0, spec_retention_s=3600.0)
+        assert self._uncorrectable_rate(codec, rber) == 0.0
+
+    def test_at_spec_age_failures_are_rare(self, setup):
+        codec, errors = setup
+        rber = errors.rber(age_s=3600.0, spec_retention_s=3600.0)  # 1e-4
+        observed = self._uncorrectable_rate(codec, rber)
+        predicted = codec.uncorrectable_probability(rber)
+        assert observed <= predicted * 10 + 1e-3
+
+    def test_deep_decay_matches_analytic_prediction(self, setup):
+        """Far past the deadline the raw error rate is large enough to
+        measure the uncorrectable rate precisely; it must agree with the
+        binomial prediction."""
+        codec, errors = setup
+        # Age = 300x spec: RBER ~ 3% — heavily corrupted.
+        rber = errors.rber(age_s=300 * 3600.0, spec_retention_s=3600.0)
+        assert rber > 0.01
+        observed = self._uncorrectable_rate(codec, rber, trials=3000)
+        predicted = codec.uncorrectable_probability(rber)
+        assert observed == pytest.approx(predicted, rel=0.15)
+
+    def test_refresh_restores_decodability(self, setup):
+        codec, errors = setup
+        spec = 3600.0
+        stale_rber = errors.rber(age_s=100 * spec, spec_retention_s=spec)
+        fresh_rber = errors.rber(age_s=10.0, spec_retention_s=spec)
+        stale = self._uncorrectable_rate(codec, stale_rber, trials=1500)
+        fresh = self._uncorrectable_rate(codec, fresh_rber, trials=1500)
+        assert stale > 0.05
+        assert fresh == 0.0
+
+    def test_detected_beats_silent_corruption(self, setup):
+        """SEC-DED's job: when it cannot correct, it should mostly
+        *detect*.  Only 3+ simultaneous flips can alias to a silent
+        miscorrection, so at moderate RBER (double errors dominate the
+        failure mass) detection must far outnumber silent corruption."""
+        codec, _errors = setup
+        rnd = random.Random(3)
+        data = 0x0F0F0F0F0F0F0F0F
+        word = codec.encode(data)
+        detected = silent = 0
+        for _ in range(20000):
+            corrupted = inject_errors(word, codec.codeword_bits, 0.005, rnd)
+            decoded, status = codec.decode(corrupted)
+            if status is DecodeStatus.DETECTED:
+                detected += 1
+            elif decoded != data:
+                silent += 1
+        assert detected > 4 * silent

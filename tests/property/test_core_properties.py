@@ -1,0 +1,101 @@
+"""Property-based tests for retention physics and the RBER model."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import RetentionErrorModel
+from repro.core.retention import RetentionModel
+from repro.devices.catalog import PCM_OPTANE, RRAM_WEEBIT, STTMRAM_EVERSPIN
+
+retentions = st.floats(min_value=1.0, max_value=3.2e8)  # 1 s .. ~10 y
+references = st.sampled_from([RRAM_WEEBIT, PCM_OPTANE, STTMRAM_EVERSPIN])
+
+
+class TestRetentionModelProperties:
+    @given(reference=references, retention=retentions)
+    def test_relaxation_never_hurts(self, reference, retention):
+        """For any retention at or below the reference: writes are never
+        more expensive, endurance never lower, than the reference."""
+        model = RetentionModel(reference)
+        assert (
+            model.write_energy_j_per_byte(retention)
+            <= reference.write_energy_j_per_byte * (1 + 1e-12)
+        )
+        assert model.endurance_cycles(retention) >= reference.endurance_cycles
+
+    @given(
+        reference=references,
+        r1=retentions,
+        r2=retentions,
+    )
+    def test_monotonicity(self, reference, r1, r2):
+        assume(r1 < r2)
+        model = RetentionModel(reference)
+        assert model.write_energy_j_per_byte(r1) <= model.write_energy_j_per_byte(r2)
+        assert model.endurance_cycles(r1) >= model.endurance_cycles(r2)
+        assert model.write_latency_s(r1) <= model.write_latency_s(r2)
+
+    @given(reference=references, retention=retentions)
+    def test_delta_roundtrip(self, reference, retention):
+        model = RetentionModel(reference)
+        delta = model.delta_for_retention(retention)
+        assert math.isclose(
+            model.retention_for_delta(delta), retention, rel_tol=1e-9
+        )
+
+    @given(
+        reference=references,
+        retention=retentions,
+        temperature=st.floats(min_value=-20.0, max_value=125.0),
+    )
+    def test_temperature_derating_inverts(self, reference, retention, temperature):
+        model = RetentionModel(reference)
+        programmed = model.required_retention_for_temperature(
+            retention, temperature
+        )
+        achieved = model.retention_at_temperature(programmed, temperature)
+        assert math.isclose(achieved, retention, rel_tol=1e-6)
+
+    @given(reference=references, retention=retentions)
+    def test_derived_profile_is_valid(self, reference, retention):
+        """profile_at must always produce a constructible profile."""
+        model = RetentionModel(reference)
+        profile = model.profile_at(retention)
+        assert profile.retention_s == retention
+        assert profile.endurance_cycles > 0
+        assert profile.write_energy_j_per_byte > 0
+
+
+class TestErrorModelProperties:
+    @given(
+        age=st.floats(min_value=0.0, max_value=1e12),
+        spec=st.floats(min_value=1.0, max_value=1e9),
+        rber_spec=st.floats(min_value=1e-9, max_value=0.4),
+    )
+    def test_rber_bounded_and_calibrated(self, age, spec, rber_spec):
+        model = RetentionErrorModel(rber_at_spec=rber_spec)
+        rber = model.rber(age, spec)
+        assert 0.0 <= rber <= 0.5
+        at_spec = model.rber(spec, spec)
+        assert math.isclose(at_spec, rber_spec, rel_tol=1e-6)
+
+    @given(
+        spec=st.floats(min_value=1.0, max_value=1e9),
+        target=st.floats(min_value=1e-8, max_value=0.49),
+    )
+    def test_age_for_rber_inverts(self, spec, target):
+        model = RetentionErrorModel()
+        age = model.age_for_rber(target, spec)
+        assert math.isclose(model.rber(age, spec), target, rel_tol=1e-6)
+
+    @given(
+        spec=st.floats(min_value=1.0, max_value=1e9),
+        a1=st.floats(min_value=0.0, max_value=1e10),
+        a2=st.floats(min_value=0.0, max_value=1e10),
+    )
+    def test_rber_monotone_in_age(self, spec, a1, a2):
+        assume(a1 < a2)
+        model = RetentionErrorModel()
+        assert model.rber(a1, spec) <= model.rber(a2, spec)

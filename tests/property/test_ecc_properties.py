@@ -1,0 +1,90 @@
+"""Property-based tests for the ECC stack (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bch import BCHCode, design_bch
+from repro.ecc.hamming import DecodeStatus, HammingCodec
+
+codec64 = HammingCodec(64)
+
+
+class TestHammingProperties:
+    @given(data=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_is_identity(self, data):
+        decoded, status = codec64.decode(codec64.encode(data))
+        assert decoded == data
+        assert status is DecodeStatus.OK
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        position=st.integers(min_value=0, max_value=71),
+    )
+    def test_any_single_flip_corrected(self, data, position):
+        word = codec64.encode(data) ^ (1 << position)
+        decoded, status = codec64.decode(word)
+        assert decoded == data
+        assert status in (DecodeStatus.CORRECTED, DecodeStatus.PARITY_FIXED)
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        positions=st.sets(
+            st.integers(min_value=0, max_value=71), min_size=2, max_size=2
+        ),
+    )
+    def test_any_double_flip_detected_never_miscorrected_silently(
+        self, data, positions
+    ):
+        word = codec64.encode(data)
+        for position in positions:
+            word ^= 1 << position
+        _decoded, status = codec64.decode(word)
+        assert status is DecodeStatus.DETECTED
+
+    @given(
+        bits=st.integers(min_value=1, max_value=256),
+        data=st.data(),
+    )
+    def test_geometry_holds_for_all_word_sizes(self, bits, data):
+        codec = HammingCodec(bits)
+        value = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        decoded, status = codec.decode(codec.encode(value))
+        assert decoded == value and status is DecodeStatus.OK
+
+
+class TestBCHProperties:
+    @given(
+        n=st.integers(min_value=32, max_value=8192),
+        t=st.integers(min_value=0, max_value=32),
+        rber=st.floats(min_value=1e-9, max_value=0.4),
+    )
+    def test_failure_probability_is_probability(self, n, t, rber):
+        if t >= n // 2:
+            t = n // 4
+        k = max(1, n - 14 * max(t, 1))
+        if k >= n and t > 0:
+            return
+        code = BCHCode(n=n, k=k, t=t)
+        p = code.block_failure_probability(rber)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        rber=st.floats(min_value=1e-8, max_value=1e-2),
+        block=st.sampled_from([256, 1024, 4096, 16384]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_designed_code_always_meets_target(self, rber, block):
+        code = design_bch(block, rber, target_block_failure=1e-12)
+        assert code.block_failure_probability(rber) <= 1e-12
+        assert code.k == block
+
+    @given(
+        t=st.integers(min_value=1, max_value=20),
+        rber=st.floats(min_value=1e-6, max_value=1e-2),
+    )
+    def test_stronger_code_never_worse(self, t, rber):
+        weaker = BCHCode(n=4096, k=4096 - 13 * t, t=t)
+        stronger = BCHCode(n=4096, k=4096 - 13 * (t + 1), t=t + 1)
+        assert stronger.block_failure_probability(
+            rber
+        ) <= weaker.block_failure_probability(rber)

@@ -1,0 +1,99 @@
+"""Property-based tests for the FTL, paging and sim invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.flash import FlashTranslationLayer
+from repro.inference.paging import PagedAllocator, PageTable
+from repro.sim import Simulator, Timeout
+
+
+class TestFTLInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        writes=st.integers(min_value=1, max_value=3000),
+        op=st.floats(min_value=0.1, max_value=0.4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mapping_consistency_under_random_load(self, seed, writes, op):
+        """After any write/trim sequence: every mapped logical page
+        points to a valid physical page, no physical page is mapped
+        twice, and WA >= 1."""
+        ftl = FlashTranslationLayer(
+            num_blocks=16, pages_per_block=8, overprovision=op
+        )
+        rnd = random.Random(seed)
+        for _ in range(writes):
+            lpn = rnd.randrange(ftl.logical_pages)
+            if rnd.random() < 0.1 and ftl.is_mapped(lpn):
+                ftl.trim(lpn)
+            else:
+                ftl.write(lpn)
+        seen = set()
+        for lpn, (block_index, offset) in ftl.mapping.items():
+            assert (block_index, offset) not in seen
+            seen.add((block_index, offset))
+            assert offset in ftl.blocks[block_index].valid
+        assert ftl.write_amplification() >= 1.0
+        # Valid-page accounting matches the mapping exactly.
+        total_valid = sum(b.valid_count for b in ftl.blocks)
+        assert total_valid == len(ftl.mapping)
+
+
+class TestPagingInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["append", "free"]),
+                st.integers(min_value=1, max_value=64),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_allocator_conservation(self, ops):
+        """free + used == total, always; table state matches pool."""
+        alloc = PagedAllocator(total_pages=128, page_bytes=4096)
+        tables = []
+        for op, amount in ops:
+            if op == "append":
+                table = PageTable(alloc, tokens_per_page=8)
+                try:
+                    table.append_tokens(amount)
+                    tables.append(table)
+                except Exception:
+                    pass
+            elif tables:
+                tables.pop().free()
+            assert alloc.free_pages + alloc.used_pages == alloc.total_pages
+            held = sum(len(t.pages) for t in tables)
+            assert alloc.used_pages == held
+        for table in tables:
+            table.free()
+        assert alloc.free_pages == alloc.total_pages
+
+
+class TestSimInvariants:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_time_never_goes_backwards(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def proc(delay):
+            yield Timeout(delay)
+            observed.append(sim.now)
+
+        for delay in delays:
+            sim.spawn(proc(delay))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+        assert sim.now == max(delays)

@@ -1,0 +1,89 @@
+"""Tests for the event queue and event objects."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEvent:
+    def test_starts_pending(self):
+        event = Event("x")
+        assert not event.fired
+        assert not event.scheduled
+        assert event.name == "x"
+
+    def test_anonymous_name(self):
+        assert "event@" in Event().name
+
+    def test_fire_runs_callbacks_in_order(self):
+        event = Event()
+        order = []
+        event.add_callback(lambda e: order.append(1))
+        event.add_callback(lambda e: order.append(2))
+        event._fire()
+        assert order == [1, 2]
+
+    def test_fire_twice_raises(self):
+        event = Event()
+        event._fire()
+        with pytest.raises(RuntimeError, match="twice"):
+            event._fire()
+
+    def test_callback_after_fire_runs_immediately(self):
+        event = Event()
+        event._fire()
+        ran = []
+        event.add_callback(lambda e: ran.append(True))
+        assert ran == [True]
+
+    def test_callback_receives_event_with_value(self):
+        event = Event()
+        event.value = "payload"
+        got = []
+        event.add_callback(lambda e: got.append(e.value))
+        event._fire()
+        assert got == ["payload"]
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        a, b = Event("a"), Event("b")
+        queue.push(5.0, b)
+        queue.push(1.0, a)
+        assert queue.pop()[1] is a
+        assert queue.pop()[1] is b
+
+    def test_fifo_within_same_time(self):
+        queue = EventQueue()
+        events = [Event(str(i)) for i in range(10)]
+        for event in events:
+            queue.push(3.0, event)
+        popped = [queue.pop()[1] for _ in range(10)]
+        assert popped == events
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+        queue.push(0.0, Event())
+        assert queue
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(7.0, Event())
+        assert queue.peek_time() == 7.0
+
+    def test_double_schedule_rejected(self):
+        queue = EventQueue()
+        event = Event()
+        queue.push(1.0, event)
+        with pytest.raises(RuntimeError, match="twice"):
+            queue.push(2.0, event)
+
+    def test_nan_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError, match="NaN"):
+            queue.push(float("nan"), Event())

@@ -1,0 +1,164 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout, Wait
+from repro.sim.process import Interrupted
+
+
+class TestTimeout:
+    def test_timeout_advances_time(self, sim):
+        log = []
+
+        def proc():
+            yield Timeout(2.5)
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [2.5]
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        log = []
+
+        def proc():
+            yield Timeout(1.0)
+            log.append(sim.now)
+            yield Timeout(2.0)
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_timeout_value_sent_back(self, sim):
+        got = []
+
+        def proc():
+            value = yield Timeout(1.0, value="tick")
+            got.append(value)
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == ["tick"]
+
+
+class TestWaitAndJoin:
+    def test_wait_on_event(self, sim):
+        event = sim.event()
+        log = []
+
+        def waiter():
+            value = yield Wait(event)
+            log.append((sim.now, value))
+
+        sim.spawn(waiter())
+        sim.trigger(event, value="go", delay=5.0)
+        sim.run()
+        assert log == [(5.0, "go")]
+
+    def test_yield_event_directly(self, sim):
+        event = sim.event()
+        log = []
+
+        def waiter():
+            value = yield event
+            log.append(value)
+
+        sim.spawn(waiter())
+        sim.trigger(event, value=7, delay=1.0)
+        sim.run()
+        assert log == [7]
+
+    def test_join_child_process(self, sim):
+        def child():
+            yield Timeout(3.0)
+            return "result"
+
+        log = []
+
+        def parent():
+            result = yield sim.spawn(child())
+            log.append((sim.now, result))
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == [(3.0, "result")]
+
+    def test_join_already_finished_child(self, sim):
+        def child():
+            yield Timeout(1.0)
+            return 99
+
+        child_proc = sim.spawn(child())
+        log = []
+
+        def parent():
+            yield Timeout(5.0)  # child finishes long before
+            result = yield child_proc
+            log.append(result)
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == [99]
+
+    def test_done_event_value_is_return(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return {"answer": 42}
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.done.fired
+        assert p.done.value == {"answer": 42}
+        assert not p.alive
+
+
+class TestInterrupt:
+    def test_interrupt_terminates(self, sim):
+        def proc():
+            yield Timeout(100.0)
+
+        p = sim.spawn(proc())
+        sim.schedule(1.0, lambda ev: p.interrupt())
+        sim.run()
+        assert not p.alive
+        assert isinstance(p.done.value, Interrupted)
+
+    def test_interrupt_can_be_caught(self, sim):
+        log = []
+
+        def proc():
+            try:
+                yield Timeout(100.0)
+            except Interrupted:
+                log.append("caught")
+                yield Timeout(1.0)
+                log.append("survived")
+
+        p = sim.spawn(proc())
+        sim.schedule(1.0, lambda ev: p.interrupt())
+        sim.run()
+        assert log == ["caught", "survived"]
+
+    def test_interrupt_dead_process_is_noop(self, sim):
+        def proc():
+            yield Timeout(1.0)
+
+        p = sim.spawn(proc())
+        sim.run()
+        p.interrupt()  # must not raise
+
+
+class TestErrors:
+    def test_unsupported_yield_raises(self, sim):
+        def proc():
+            yield "nonsense"
+
+        sim.spawn(proc())
+        with pytest.raises(TypeError, match="unsupported command"):
+            sim.run()

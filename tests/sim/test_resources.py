@@ -1,0 +1,105 @@
+"""Tests for counted resources."""
+
+import pytest
+
+from repro.sim import Acquire, Release, Resource, Simulator, Timeout
+
+
+class TestResourceBasics:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_acquire_release_counts(self, sim):
+        res = Resource(sim, capacity=2)
+        log = []
+
+        def proc():
+            yield Acquire(res)
+            log.append(("acquired", res.in_use))
+            yield Timeout(1.0)
+            yield Release(res)
+            log.append(("released", res.in_use))
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [("acquired", 1), ("released", 0)]
+
+    def test_release_idle_raises(self, sim):
+        res = Resource(sim)
+        with pytest.raises(RuntimeError, match="idle"):
+            res.release()
+
+
+class TestContention:
+    def test_capacity_enforced(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def proc(name, hold):
+            yield Acquire(res)
+            log.append((sim.now, name, "in"))
+            yield Timeout(hold)
+            yield Release(res)
+
+        sim.spawn(proc("a", 5.0))
+        sim.spawn(proc("b", 5.0))
+        sim.run()
+        # b must wait for a's release at t=5
+        assert log[0][1] == "a" and log[0][0] == 0.0
+        assert log[1][1] == "b" and log[1][0] == 5.0
+
+    def test_fifo_order(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def proc(name):
+            yield Acquire(res)
+            order.append(name)
+            yield Timeout(1.0)
+            yield Release(res)
+
+        for name in "abcde":
+            sim.spawn(proc(name))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_parallelism_matches_capacity(self, sim):
+        res = Resource(sim, capacity=3)
+        concurrent = []
+
+        def proc():
+            yield Acquire(res)
+            concurrent.append(res.in_use)
+            yield Timeout(1.0)
+            yield Release(res)
+
+        for _ in range(9):
+            sim.spawn(proc())
+        sim.run()
+        assert max(concurrent) == 3
+        assert sim.now == 3.0  # 9 jobs / 3 wide / 1s each
+
+    def test_queue_length_visible(self, sim):
+        res = Resource(sim, capacity=1)
+        observed = []
+
+        def holder():
+            yield Acquire(res)
+            yield Timeout(10.0)
+            yield Release(res)
+
+        def waiter():
+            yield Acquire(res)
+            yield Release(res)
+
+        def observer():
+            yield Timeout(5.0)
+            observed.append(res.queue_length)
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.spawn(waiter())
+        sim.spawn(observer())
+        sim.run()
+        assert observed == [2]

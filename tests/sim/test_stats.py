@@ -1,0 +1,147 @@
+"""Tests for metric recorders."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    MetricRegistry,
+    RateMeter,
+    TimeWeightedValue,
+)
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("x")
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+
+class TestTimeWeightedValue:
+    def test_constant_signal_mean(self):
+        tw = TimeWeightedValue(initial=5.0)
+        assert tw.mean(now=10.0) == 5.0
+
+    def test_step_signal_mean(self):
+        tw = TimeWeightedValue()
+        tw.set(0.0, 0.0)
+        tw.set(5.0, 10.0)  # 0 for 5s, then 10
+        assert tw.mean(now=10.0) == pytest.approx(5.0)
+
+    def test_adjust(self):
+        tw = TimeWeightedValue()
+        tw.adjust(1.0, +3)
+        tw.adjust(2.0, -1)
+        assert tw.level == 2
+
+    def test_peak_and_trough(self):
+        tw = TimeWeightedValue()
+        tw.set(1.0, 7.0)
+        tw.set(2.0, -2.0)
+        assert tw.peak == 7.0
+        assert tw.trough == -2.0
+
+    def test_time_backwards_rejected(self):
+        tw = TimeWeightedValue()
+        tw.set(5.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            tw.set(4.0, 2.0)
+
+
+class TestHistogram:
+    def test_moments(self):
+        h = Histogram()
+        for v in [1, 2, 3, 4, 5]:
+            h.observe(v)
+        assert h.count == 5
+        assert h.mean() == 3.0
+        assert h.total == 15.0
+        assert h.stdev() == pytest.approx(math.sqrt(2.0))
+
+    def test_quantiles_exact(self):
+        h = Histogram()
+        for v in range(101):
+            h.observe(float(v))
+        assert h.median() == 50.0
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.25) == 25.0
+
+    def test_quantile_interpolates(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(10.0)
+        assert h.quantile(0.5) == 5.0
+
+    def test_unsorted_input(self):
+        h = Histogram()
+        for v in [9, 1, 5, 3, 7]:
+            h.observe(v)
+        assert h.min() == 1
+        assert h.max() == 9
+        assert h.median() == 5
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert math.isnan(h.mean())
+        assert math.isnan(h.quantile(0.5))
+
+    def test_cdf(self):
+        h = Histogram()
+        for v in [1, 2, 3, 4]:
+            h.observe(v)
+        assert h.cdf(2.5) == 0.5
+        assert h.cdf(0.0) == 0.0
+        assert h.cdf(4.0) == 1.0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestRateMeter:
+    def test_rate(self):
+        r = RateMeter()
+        r.tick(10)
+        assert r.rate(now=5.0) == 2.0
+
+    def test_zero_span(self):
+        r = RateMeter()
+        r.tick()
+        assert r.rate(now=0.0) == 0.0
+
+
+class TestMetricRegistry:
+    def test_lazy_creation_and_reuse(self):
+        reg = MetricRegistry()
+        reg.counter("a").add(1)
+        reg.counter("a").add(1)
+        assert reg.counter("a").value == 2
+
+    def test_type_conflict_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.histogram("a")
+
+    def test_snapshot(self):
+        reg = MetricRegistry()
+        reg.counter("c").add(3)
+        reg.histogram("h").observe(10)
+        snap = reg.snapshot()
+        assert snap == {"c": 3.0, "h": 10.0}
+
+    def test_contains_and_names(self):
+        reg = MetricRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert "z" in reg
+        assert list(reg.names()) == ["a", "z"]

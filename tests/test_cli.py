@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "KV cache" in out
+        assert "shape checks" in out
+
+    def test_fig1_custom_lifetime(self, capsys):
+        assert main(["fig1", "--years", "3"]) == 0
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff"]) == 0
+        out = capsys.readouterr().out
+        assert "rram-weebit" in out
+        assert "endurance" in out
+
+    def test_tradeoff_other_reference(self, capsys):
+        assert main(["tradeoff", "--reference", "pcm-optane"]) == 0
+        assert "pcm-optane" in capsys.readouterr().out
+
+    def test_tradeoff_unknown_reference(self):
+        with pytest.raises(KeyError):
+            main(["tradeoff", "--reference", "unobtainium"])
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--requests", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "read:write ratio" in out
+        assert "sequentiality" in out
+
+    def test_provisioning(self, capsys):
+        assert main(["provisioning"]) == 0
+        out = capsys.readouterr().out
+        assert "overprovisioned" in out
+        assert "underprovisioned" in out
+
+    def test_serve(self, capsys):
+        assert main(["serve", "--duration", "5", "--engines", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput tok/s" in out
+        assert "memory-bound" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "hbm_overprovisioned" in out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "--out", str(out_path), "--duration", "5"]
+        ) == 0
+        from repro.workload.traces import read_trace
+
+        assert len(read_trace(out_path)) > 0
+
+    def test_trace_code_profile(self, tmp_path):
+        out_path = tmp_path / "code.jsonl"
+        assert main(
+            ["trace", "--out", str(out_path), "--profile", "code",
+             "--duration", "5"]
+        ) == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

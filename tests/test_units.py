@@ -1,0 +1,59 @@
+"""Tests for unit constants and conversion helpers."""
+
+import pytest
+
+from repro.units import (
+    BITS_PER_BYTE,
+    DAY,
+    GiB,
+    HOUR,
+    KiB,
+    MiB,
+    MINUTE,
+    YEAR,
+    bytes_to_human,
+    j_per_byte_to_pj_per_bit,
+    pj_per_bit_to_j_per_byte,
+    seconds_to_human,
+)
+
+
+class TestConstants:
+    def test_binary_sizes(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_time_chain(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert YEAR == pytest.approx(365.25 * DAY)
+
+
+class TestHumanRendering:
+    def test_bytes_to_human(self):
+        assert bytes_to_human(3 * GiB) == "3.00 GiB"
+        assert bytes_to_human(1536) == "1.50 KiB"
+        assert bytes_to_human(512) == "512 B"
+
+    def test_seconds_to_human(self):
+        assert seconds_to_human(2 * DAY) == "2.00 d"
+        assert seconds_to_human(90) == "1.50 min"
+        assert seconds_to_human(5e-9) == "5.00 ns"
+        assert seconds_to_human(0.25) == "250.00 ms"
+
+    def test_tiny_duration_fallback(self):
+        assert "e" in seconds_to_human(1e-12)
+
+
+class TestEnergyConversion:
+    def test_roundtrip(self):
+        j_per_byte = pj_per_bit_to_j_per_byte(15.0)
+        assert j_per_byte_to_pj_per_bit(j_per_byte) == pytest.approx(15.0)
+
+    def test_known_value(self):
+        # 1 pJ/bit = 8 pJ/byte = 8e-12 J/byte
+        assert pj_per_bit_to_j_per_byte(1.0) == pytest.approx(8e-12)
+
+    def test_bits_per_byte(self):
+        assert BITS_PER_BYTE == 8

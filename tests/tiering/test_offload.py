@@ -1,0 +1,91 @@
+"""Tests for the idle-KV offload policy comparison."""
+
+import pytest
+
+from repro.inference.cluster import tensor_parallel_group
+from repro.inference.accelerator import H100_80G
+from repro.tiering.offload import (
+    ConversationShape,
+    OffloadSimulator,
+    OffloadScore,
+)
+from repro.workload.model import LLAMA2_70B
+
+
+@pytest.fixture(scope="module")
+def simulator() -> OffloadSimulator:
+    return OffloadSimulator(
+        LLAMA2_70B, tensor_parallel_group(H100_80G, 4), seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def scores(simulator):
+    return simulator.compare(count=60)
+
+
+class TestPolicies:
+    def test_keep_burns_capacity_but_resumes_free(self, scores):
+        keep = scores["keep"]
+        assert keep.fast_tier_byte_seconds > 0
+        assert keep.resume_latency_total_s == 0.0
+        assert keep.recompute_flops == 0.0
+
+    def test_offload_trades_capacity_for_latency(self, scores):
+        offload = scores["offload"]
+        assert offload.fast_tier_byte_seconds == 0.0
+        assert offload.resume_latency_total_s > 0
+        assert offload.recompute_flops == 0.0
+
+    def test_drop_pays_recompute(self, scores):
+        drop = scores["drop"]
+        assert drop.recompute_flops > 0
+        assert drop.resume_latency_total_s > 0
+
+    def test_mrm_dominates(self, scores):
+        """The paper's implied win: retention spanning the think time
+        gets keep's latency at drop's capacity footprint."""
+        mrm = scores["mrm"]
+        assert mrm.fast_tier_byte_seconds == 0.0
+        assert mrm.resume_latency_total_s == 0.0
+        assert mrm.recompute_flops == 0.0
+
+    def test_drop_resume_slower_than_offload(self, simulator):
+        """Recomputing a prefill costs more than streaming KV back over
+        a CXL-class link (the reason [49] offloads instead of dropping)."""
+        scores = simulator.compare(count=60)
+        assert (
+            scores["drop"].mean_resume_latency_s
+            > scores["offload"].mean_resume_latency_s
+        )
+
+    def test_same_resume_count_across_policies(self, scores):
+        counts = {score.resumes for score in scores.values()}
+        assert len(counts) == 1
+
+
+class TestMechanics:
+    def test_unknown_policy_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.evaluate("teleport")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ConversationShape(turns_mean=0)
+
+    def test_deterministic(self, simulator):
+        a = simulator.evaluate("offload", count=30)
+        b = simulator.evaluate("offload", count=30)
+        assert a.resume_latency_total_s == b.resume_latency_total_s
+
+    def test_longer_think_time_burns_more_keep_capacity(self):
+        sim = OffloadSimulator(
+            LLAMA2_70B, tensor_parallel_group(H100_80G, 4), seed=5
+        )
+        short = sim.evaluate(
+            "keep", count=40, shape=ConversationShape(think_time_mean_s=30.0)
+        )
+        long = sim.evaluate(
+            "keep", count=40, shape=ConversationShape(think_time_mean_s=300.0)
+        )
+        assert long.fast_tier_byte_seconds > short.fast_tier_byte_seconds

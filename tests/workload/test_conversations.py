@@ -1,0 +1,126 @@
+"""Tests for multi-turn conversation sessions and KV retention policies."""
+
+import pytest
+
+from repro.inference.accelerator import H100_80G
+from repro.inference.cluster import Cluster, tensor_parallel_group
+from repro.sim import Simulator
+from repro.workload.conversations import (
+    Session,
+    Turn,
+    generate_sessions,
+    sessions_to_requests,
+)
+from repro.workload.model import LLAMA2_70B
+
+
+class TestSessionStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Turn(0, 1)
+        with pytest.raises(ValueError):
+            Session(0.0, turns=(), think_times_s=())
+        with pytest.raises(ValueError):
+            Session(0.0, turns=(Turn(1, 1), Turn(1, 1)), think_times_s=())
+
+    def test_history_accumulates(self):
+        session = Session(
+            0.0,
+            turns=(Turn(100, 50), Turn(30, 20), Turn(10, 10)),
+            think_times_s=(60.0, 60.0),
+        )
+        assert session.history_tokens_before(0) == 0
+        assert session.history_tokens_before(1) == 150
+        assert session.history_tokens_before(2) == 200
+
+    def test_generation_reproducible(self):
+        a = generate_sessions(20, seed=5)
+        b = generate_sessions(20, seed=5)
+        assert a == b
+
+    def test_generation_shapes(self):
+        sessions = generate_sessions(50, turns_mean=4.0, seed=2)
+        assert len(sessions) == 50
+        starts = [s.start_time for s in sessions]
+        assert starts == sorted(starts)
+        assert any(len(s.turns) > 1 for s in sessions)
+
+
+class TestRequestFlattening:
+    def test_retain_carries_cached_tokens(self):
+        sessions = [
+            Session(0.0, turns=(Turn(100, 50), Turn(30, 20)),
+                    think_times_s=(60.0,))
+        ]
+        requests = sessions_to_requests(sessions, LLAMA2_70B, "retain")
+        first, second = requests
+        assert first.cached_prompt_tokens == 0
+        assert second.prompt_tokens == 180  # 100+50 history + 30 new
+        assert second.cached_prompt_tokens == 150
+
+    def test_recompute_has_no_cache(self):
+        sessions = [
+            Session(0.0, turns=(Turn(100, 50), Turn(30, 20)),
+                    think_times_s=(60.0,))
+        ]
+        requests = sessions_to_requests(sessions, LLAMA2_70B, "recompute")
+        assert all(r.cached_prompt_tokens == 0 for r in requests)
+
+    def test_arrival_order(self):
+        sessions = generate_sessions(20, seed=7)
+        requests = sessions_to_requests(sessions, LLAMA2_70B)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+
+    def test_context_limit_respected(self):
+        sessions = generate_sessions(
+            30, turns_mean=12.0, prompt_tokens_mean=400,
+            output_tokens_mean=400, seed=3,
+        )
+        for request in sessions_to_requests(sessions, LLAMA2_70B):
+            assert (
+                request.prompt_tokens + request.output_tokens
+                <= LLAMA2_70B.context_limit_tokens
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            sessions_to_requests([], LLAMA2_70B, "hope")
+
+
+class TestServingEndToEnd:
+    def run(self, kv_policy: str):
+        sessions = generate_sessions(
+            12, turns_mean=3.0, think_time_mean_s=5.0,
+            arrival_rate_per_s=1.0, seed=9,
+        )
+        requests = sessions_to_requests(sessions, LLAMA2_70B, kv_policy)
+        sim = Simulator()
+        cluster = Cluster(
+            sim, tensor_parallel_group(H100_80G, 4), LLAMA2_70B,
+            num_engines=1, max_batch_size=16,
+        )
+        return cluster.run(iter(requests)), requests
+
+    def test_retained_history_cuts_prefill_compute(self):
+        """The retention story's end-to-end payoff: follow-up turns skip
+        the history prefill, so total busy time falls and follow-up
+        TTFT improves."""
+        retain_report, retain_requests = self.run("retain")
+        recompute_report, _req = self.run("recompute")
+        assert retain_report.requests_completed == (
+            recompute_report.requests_completed
+        )
+        assert retain_report.tokens_generated == (
+            recompute_report.tokens_generated
+        )
+        # Same tokens served with strictly less machine time.
+        assert (
+            retain_report.board_energy_j < recompute_report.board_energy_j
+        )
+        assert retain_report.ttft_p99_s <= recompute_report.ttft_p99_s
+
+    def test_cached_tokens_accounted(self):
+        report, requests = self.run("retain")
+        cached = sum(r.cached_prompt_tokens for r in requests)
+        assert cached > 0

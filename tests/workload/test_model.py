@@ -1,0 +1,105 @@
+"""Tests for model configurations and their memory arithmetic."""
+
+import pytest
+
+from repro.units import GiB, MiB
+from repro.workload.model import (
+    GPT_CLASS_500B,
+    LLAMA2_70B,
+    LLAMA2_70B_MHA,
+    ModelConfig,
+    PHI_3_MINI,
+)
+
+
+class TestSizing:
+    def test_llama70b_weights_about_130_gib(self):
+        assert LLAMA2_70B.weights_bytes == pytest.approx(140e9, rel=0.01)
+
+    def test_gqa_kv_per_token(self):
+        # 2 * 80 layers * 8 kv heads * 128 dim * 2 bytes = 320 KiB
+        assert LLAMA2_70B.kv_bytes_per_token == 327_680
+
+    def test_mha_vector_is_a_few_mb(self):
+        """The paper: 'Self-attention vector size is usually at most a
+        few MBs' — the MHA variant's per-token vector is 2.5 MiB."""
+        assert 2 * MiB < LLAMA2_70B_MHA.kv_bytes_per_token <= 4 * MiB
+
+    def test_gqa_divides_kv_by_group_factor(self):
+        assert (
+            LLAMA2_70B_MHA.kv_bytes_per_token
+            == LLAMA2_70B.kv_bytes_per_token * LLAMA2_70B.gqa_group_factor
+        )
+
+    def test_frontier_model_spans_paper_range(self):
+        """'between 250 GB and over 1 TB of data depending on the weight
+        quantization' for 500B+ weights."""
+        fp16 = GPT_CLASS_500B.weights_bytes
+        int4 = ModelConfig(
+            **{**GPT_CLASS_500B.__dict__, "bytes_per_param": 0.5}
+        ).weights_bytes
+        assert int4 >= 250e9
+        assert fp16 >= 1e12 * 0.9
+
+    def test_kv_cache_grows_to_tens_of_gb(self):
+        """'the KV cache usually grows to a few tens of GBs' at large
+        context for frontier models."""
+        cache = GPT_CLASS_500B.kv_cache_bytes(GPT_CLASS_500B.context_limit_tokens)
+        assert 10 * GiB < cache < 100 * GiB
+
+    def test_activations_order_of_magnitude_smaller(self):
+        """'typically an order of magnitude smaller than both the weights
+        and the KV cache'."""
+        act = LLAMA2_70B.activation_bytes(batch_size=16)
+        assert act * 10 <= LLAMA2_70B.weights_bytes
+
+    def test_kv_cache_zero_context(self):
+        assert LLAMA2_70B.kv_cache_bytes(0) == 0
+        with pytest.raises(ValueError):
+            LLAMA2_70B.kv_cache_bytes(-1)
+
+
+class TestFlops:
+    def test_decode_flops_dominated_by_dense(self):
+        flops = LLAMA2_70B.decode_flops_per_token(1)
+        assert flops == pytest.approx(2 * 70e9, rel=0.01)
+
+    def test_decode_flops_grow_with_context(self):
+        assert LLAMA2_70B.decode_flops_per_token(
+            4096
+        ) > LLAMA2_70B.decode_flops_per_token(16)
+
+    def test_prefill_superlinear(self):
+        """Attention makes prefill grow faster than linearly."""
+        f1 = LLAMA2_70B.prefill_flops(1024)
+        f2 = LLAMA2_70B.prefill_flops(2048)
+        assert f2 > 2 * f1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LLAMA2_70B.decode_flops_per_token(-1)
+        with pytest.raises(ValueError):
+            LLAMA2_70B.prefill_flops(-1)
+
+
+class TestValidation:
+    def test_kv_heads_must_divide(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", n_params=1e9, n_layers=10, hidden_dim=512,
+                n_heads=10, n_kv_heads=3, head_dim=64,
+            )
+
+    def test_kv_heads_cannot_exceed_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", n_params=1e9, n_layers=10, hidden_dim=512,
+                n_heads=8, n_kv_heads=16, head_dim=64,
+            )
+
+    def test_describe_mentions_key_facts(self):
+        text = LLAMA2_70B.describe()
+        assert "70B" in text and "GiB" in text and "GQA" in text
+
+    def test_small_model_preset(self):
+        assert PHI_3_MINI.weights_bytes < 10 * GiB

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table into one results file.
+
+Runs the benchmark harness with output capture disabled and collects
+the printed experiment blocks into ``results/experiments_output.txt``,
+so EXPERIMENTS.md can be audited against a fresh run:
+
+    python tools/run_experiments.py [--out results/experiments_output.txt]
+
+This is a thin wrapper over ``pytest benchmarks/ --benchmark-only -s``;
+it exists so a single command produces the complete, ordered record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="results/experiments_output.txt",
+        help="file to write the combined experiment output to",
+    )
+    parser.add_argument(
+        "--benchmarks", default="benchmarks",
+        help="benchmark directory to run",
+    )
+    args = parser.parse_args()
+
+    out_path = pathlib.Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+
+    command = [
+        sys.executable, "-m", "pytest", args.benchmarks,
+        "--benchmark-only", "-s", "-q", "--benchmark-disable-gc",
+    ]
+    print("running:", " ".join(command))
+    completed = subprocess.run(command, capture_output=True, text=True)
+    out_path.write_text(completed.stdout + completed.stderr)
+    print(f"wrote {out_path} ({len(completed.stdout.splitlines())} lines)")
+    if completed.returncode != 0:
+        print("BENCHMARKS FAILED — see the output file", file=sys.stderr)
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
