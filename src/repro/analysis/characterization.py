@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, Sequence, Tuple
 
 from repro.sim.stats import Histogram
+from repro.units import MiB
 from repro.workload.model import ModelConfig
 from repro.workload.requests import InferenceRequest
 
@@ -101,7 +102,7 @@ class CharacterizationReport:
 def synthesize_access_stream(
     model: ModelConfig,
     requests: Sequence[InferenceRequest],
-    page_bytes: int = 8 * 1024 * 1024,
+    page_bytes: int = 8 * MiB,
     batch_size: int = 8,
     step_time_s: float = 0.02,
     include_weight_reads: bool = True,
@@ -197,7 +198,7 @@ def _kv_append(
 
 
 def characterize(
-    records: Iterable[AccessRecord], page_bytes: int = 8 * 1024 * 1024
+    records: Iterable[AccessRecord], page_bytes: int = 8 * MiB
 ) -> CharacterizationReport:
     """Measure the stream (single pass, page-granular write history)."""
     report = CharacterizationReport()

@@ -20,7 +20,7 @@ from typing import List, Optional
 from repro.devices.catalog import HBM3E
 from repro.endurance.requirements import SplitwiseCalibration, kv_cache_requirement
 from repro.inference.accelerator import AcceleratorConfig, B200
-from repro.units import YEAR
+from repro.units import MiB, YEAR
 from repro.workload.model import LLAMA2_70B, ModelConfig
 from repro.workload.phases import decode_step_traffic
 
@@ -124,7 +124,7 @@ def hbm_provisioning_table(
         ProvisioningRow(
             property="access granularity",
             provided=float(HBM3E.access_granularity_bytes),
-            needed=float(8 * 1024 * 1024),  # multi-MiB sequential pages [22]
+            needed=float(8 * MiB),  # multi-MiB sequential pages [22]
             unit="bytes (finer = more general)",
             # Fine granularity the workload never uses = overprovisioned.
             verdict="overprovisioned",

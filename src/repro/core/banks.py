@@ -30,6 +30,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.units import KiB, MiB
+
 
 @dataclass(frozen=True)
 class BankGeometry:
@@ -137,10 +139,9 @@ class BankedDevice:
 
     def pattern_table(self) -> Dict[str, float]:
         """Efficiency of the patterns the interface debate is about."""
-        MiB = 1024 * 1024
         return {
             "sequential 8 MiB block": self.efficiency("sequential", 8 * MiB),
-            "sequential 64 KiB": self.efficiency("sequential", 64 * 1024),
-            "random 4 KiB": self.efficiency("random", 4096),
+            "sequential 64 KiB": self.efficiency("sequential", 64 * KiB),
+            "random 4 KiB": self.efficiency("random", 4 * KiB),
             "random 64 B": self.efficiency("random", 64),
         }

@@ -35,7 +35,7 @@ from repro.devices.base import (
     TechnologyProfile,
 )
 from repro.devices.catalog import RRAM_POTENTIAL
-from repro.units import DAY, MiB
+from repro.units import DAY, GiB, MiB
 
 
 @dataclass(frozen=True)
@@ -71,7 +71,7 @@ class MRMConfig:
         program-verify energy (``MLC_WRITE_COST`` per extra bit).
     """
 
-    capacity_bytes: int = 32 * 1024**3
+    capacity_bytes: int = 32 * GiB
     block_bytes: int = 8 * MiB
     blocks_per_zone: int = 32
     reference: TechnologyProfile = RRAM_POTENTIAL

@@ -22,7 +22,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
-from repro.units import BITS_PER_BYTE, PICOJOULE
+from repro.units import BITS_PER_BYTE, GiB, PICOJOULE, YEAR
 
 
 class CellKind(enum.Enum):
@@ -104,7 +104,7 @@ class TechnologyProfile:
     refresh_interval_s: Optional[float] = None
     static_power_w_per_gib: float = 0.0
     byte_addressable: bool = True
-    access_granularity_bytes: int = 64
+    access_granularity_bytes: int = 64  # DDR cache-line burst default
     erase_block_bytes: Optional[int] = None
     cost_usd_per_gib: float = 0.0
     density_gbit_per_mm2: float = 0.0
@@ -132,7 +132,7 @@ class TechnologyProfile:
     @property
     def non_volatile(self) -> bool:
         """True for 10+-year retention (the storage-class regime)."""
-        return self.retention_s >= 10 * 365.25 * 86400
+        return self.retention_s >= 10 * YEAR
 
     @property
     def read_energy_pj_per_bit(self) -> float:
@@ -356,7 +356,7 @@ class MemoryDevice:
             raise ValueError("duration must be >= 0")
         energy = (
             self.profile.static_power_w_per_gib
-            * (self.capacity_bytes / (1024**3))
+            * (self.capacity_bytes / GiB)
             * duration_s
         )
         self.counters.static_energy_j += energy
@@ -386,5 +386,5 @@ class MemoryDevice:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<{type(self).__name__} {self.name} "
-            f"{self.capacity_bytes / (1024**3):.1f} GiB>"
+            f"{self.capacity_bytes / GiB:.1f} GiB>"
         )

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.devices.base import MemoryDevice, TechnologyProfile
 from repro.devices.catalog import DDR5
+from repro.units import GiB
 
 
 class DRAMDevice(MemoryDevice):
@@ -45,7 +46,7 @@ class DRAMDevice(MemoryDevice):
     def __init__(
         self,
         profile: Optional[TechnologyProfile] = None,
-        capacity_bytes: int = 16 * 1024**3,
+        capacity_bytes: int = 16 * GiB,
         temperature_c: float = 55.0,
         name: str = "",
     ) -> None:

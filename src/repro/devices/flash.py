@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.devices.base import MemoryDevice, TechnologyProfile
 from repro.devices.catalog import NAND_SLC
+from repro.units import GiB
 
 
 @dataclass
@@ -252,7 +253,7 @@ class FlashDevice(MemoryDevice):
     def __init__(
         self,
         profile: Optional[TechnologyProfile] = None,
-        capacity_bytes: int = 1024**3,
+        capacity_bytes: int = 1 * GiB,
         overprovision: float = 0.07,
         name: str = "",
     ) -> None:

@@ -39,14 +39,14 @@ class HBMGeneration:
 #: The public roadmap the paper cites: HBM4 layer capacity is only ~30%
 #: above HBM3e [50], and the industry does not expect >16 layers.
 HBM_ROADMAP: List[HBMGeneration] = [
-    HBMGeneration("hbm3", capacity_per_layer_bytes=2 * GiB, max_layers=12,
-                  bandwidth_per_stack=0.82e12),
-    HBMGeneration("hbm3e", capacity_per_layer_bytes=3 * GiB, max_layers=12,
-                  bandwidth_per_stack=1.18e12),
-    HBMGeneration("hbm4", capacity_per_layer_bytes=4 * GiB, max_layers=16,
+    HBMGeneration("hbm3", capacity_per_layer_bytes=2 * GiB, max_layers=12,  # [50]
+                  bandwidth_per_stack=0.82e12),  # 0.82 TB/s/stack [50]
+    HBMGeneration("hbm3e", capacity_per_layer_bytes=3 * GiB, max_layers=12,  # [50]
+                  bandwidth_per_stack=1.18e12),  # 1.18 TB/s/stack [51]
+    HBMGeneration("hbm4", capacity_per_layer_bytes=4 * GiB, max_layers=16,  # [50]
                   bandwidth_per_stack=1.6e12),  # ~+30% per layer [50]
-    HBMGeneration("hbm4e", capacity_per_layer_bytes=5 * GiB, max_layers=16,
-                  bandwidth_per_stack=2.0e12),
+    HBMGeneration("hbm4e", capacity_per_layer_bytes=5 * GiB, max_layers=16,  # [50]
+                  bandwidth_per_stack=2.0e12),  # roadmap extrapolation [50]
 ]
 
 

@@ -18,6 +18,7 @@ from typing import Optional
 from repro.devices.base import TechnologyProfile
 from repro.devices.catalog import LPDDR5X
 from repro.devices.dram import DRAMDevice
+from repro.units import GiB
 
 
 class LPDDRDevice(DRAMDevice):
@@ -34,7 +35,7 @@ class LPDDRDevice(DRAMDevice):
     def __init__(
         self,
         profile: Optional[TechnologyProfile] = None,
-        capacity_bytes: int = 32 * 1024**3,
+        capacity_bytes: int = 32 * GiB,
         temperature_c: float = 55.0,
         name: str = "",
     ) -> None:

@@ -26,6 +26,7 @@ import numpy as np
 from repro.devices.base import TechnologyProfile
 from repro.devices.catalog import PCM_OPTANE
 from repro.devices.resistive import ResistiveDevice
+from repro.units import GiB
 
 
 class PCMDevice(ResistiveDevice):
@@ -39,7 +40,7 @@ class PCMDevice(ResistiveDevice):
     def __init__(
         self,
         profile: Optional[TechnologyProfile] = None,
-        capacity_bytes: int = 1024**3,
+        capacity_bytes: int = 1 * GiB,
         bits_per_cell: int = 1,
         rng: Optional[np.random.Generator] = None,
         name: str = "",
@@ -47,8 +48,8 @@ class PCMDevice(ResistiveDevice):
         super().__init__(
             profile or PCM_OPTANE,
             capacity_bytes,
-            pulse_success_probability=0.9,
-            max_pulses=8,
+            pulse_success_probability=0.9,  # SET/RESET verify yield, Lee et al. [24]
+            max_pulses=8,  # iterative program-and-verify bound [24]
             bits_per_cell=bits_per_cell,
             rng=rng,
             name=name,

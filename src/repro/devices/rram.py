@@ -23,6 +23,7 @@ import numpy as np
 from repro.devices.base import TechnologyProfile
 from repro.devices.catalog import RRAM_WEEBIT
 from repro.devices.resistive import ResistiveDevice
+from repro.units import GiB
 
 
 class RRAMDevice(ResistiveDevice):
@@ -31,7 +32,7 @@ class RRAMDevice(ResistiveDevice):
     def __init__(
         self,
         profile: Optional[TechnologyProfile] = None,
-        capacity_bytes: int = 1024**3,
+        capacity_bytes: int = 1 * GiB,
         bits_per_cell: int = 1,
         crossbar_rows: int = 0,
         rng: Optional[np.random.Generator] = None,
@@ -41,7 +42,7 @@ class RRAMDevice(ResistiveDevice):
             profile or RRAM_WEEBIT,
             capacity_bytes,
             pulse_success_probability=0.85,  # filament formation is noisy
-            max_pulses=16,
+            max_pulses=16,  # filament-forming retry bound [15, 34]
             bits_per_cell=bits_per_cell,
             rng=rng,
             name=name,

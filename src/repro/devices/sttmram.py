@@ -27,6 +27,7 @@ import numpy as np
 from repro.devices.base import TechnologyProfile
 from repro.devices.catalog import STTMRAM_EVERSPIN
 from repro.devices.resistive import ResistiveDevice
+from repro.units import GiB
 
 
 class STTMRAMDevice(ResistiveDevice):
@@ -44,7 +45,7 @@ class STTMRAMDevice(ResistiveDevice):
     def __init__(
         self,
         profile: Optional[TechnologyProfile] = None,
-        capacity_bytes: int = 1024**3,
+        capacity_bytes: int = 1 * GiB,
         rng: Optional[np.random.Generator] = None,
         name: str = "",
     ) -> None:
@@ -52,7 +53,7 @@ class STTMRAMDevice(ResistiveDevice):
             profile or STTMRAM_EVERSPIN,
             capacity_bytes,
             pulse_success_probability=0.98,  # WER ~1e-2 per pulse, verify loop
-            max_pulses=4,
+            max_pulses=4,  # write-error-rate retry bound [39]
             bits_per_cell=1,  # MTJs are binary in shipped parts
             rng=rng,
             name=name,

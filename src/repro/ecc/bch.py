@@ -67,9 +67,12 @@ class BCHCode:
         """
         if not 0.0 <= rber <= 1.0:
             raise ValueError("rber outside [0, 1]")
-        if rber == 0.0:
+        # Ordered guards (not ==): rber is validated to [0, 1] above, so
+        # <=/>= hit exactly the endpoint cases without exact-float
+        # comparison fragility.
+        if rber <= 0.0:
             return 0.0
-        if rber == 1.0:
+        if rber >= 1.0:
             return 1.0 if self.t < self.n else 0.0
         return float(special.betainc(self.t + 1, self.n - self.t, rber))
 

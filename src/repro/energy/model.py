@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.tiering.tiers import MemoryTier
+from repro.units import GiB
 
 
 @dataclass(frozen=True)
@@ -81,7 +82,7 @@ def memory_energy(
         )
     static_j = (
         tier.profile.static_power_w_per_gib
-        * (tier.capacity_bytes / (1024**3))
+        * (tier.capacity_bytes / GiB)
         * duration_s
     )
     return MemoryEnergyBreakdown(

@@ -1,0 +1,135 @@
+"""The checked-in baseline of accepted, pre-existing findings.
+
+A baseline entry acknowledges a finding without fixing it — every entry
+must carry a human-written ``justification`` explaining why the code is
+right as written.  The file is JSON so diffs review cleanly:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "fingerprint": "9f3c2a1b8d4e5f60",
+          "rule_id": "RL001",
+          "path": "src/repro/devices/base.py",
+          "line": 359,
+          "source_line": "* (self.capacity_bytes / (1024**3))",
+          "justification": "repr-only formatting; not a model quantity"
+        }
+      ]
+    }
+
+Matching is by :meth:`repro.lint.findings.Finding.fingerprint` (path +
+rule + stripped source text), so unrelated edits that shift line numbers
+do not invalidate the baseline; the recorded ``line`` is informational.
+Duplicate identical lines are handled by count: N entries with the same
+fingerprint absorb at most N findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing justification)."""
+
+
+class Baseline:
+    """An in-memory baseline: fingerprint -> allowed count."""
+
+    def __init__(self, entries: Optional[List[dict]] = None) -> None:
+        self.entries: List[dict] = list(entries or [])
+        for entry in self.entries:
+            if not str(entry.get("justification", "")).strip():
+                raise BaselineError(
+                    f"baseline entry {entry.get('fingerprint')!r} "
+                    f"({entry.get('path')}:{entry.get('line')}) has no "
+                    "justification — every baselined finding must say why"
+                )
+        self._budget = Counter(e["fingerprint"] for e in self.entries)
+
+    # ------------------------------------------------------------------
+    # IO
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: invalid JSON ({exc})") from exc
+        if payload.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version {payload.get('version')!r}"
+            )
+        return cls(payload.get("entries", []))
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str
+    ) -> "Baseline":
+        """Build a baseline accepting ``findings``, all with one shared
+        justification (meant to be refined by hand afterwards)."""
+        entries = [
+            {
+                "fingerprint": f.fingerprint(),
+                "rule_id": f.rule_id,
+                "path": f.path,
+                "line": f.line,
+                "source_line": f.source_line.strip(),
+                "justification": justification,
+            }
+            for f in findings
+        ]
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        payload = {"version": BASELINE_VERSION, "entries": self.entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, baselined).
+
+        Consumes baseline budget in report order so duplicate lines are
+        absorbed deterministically.
+        """
+        budget: Dict[str, int] = dict(self._budget)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def stale_entries(self, findings: Sequence[Finding]) -> List[dict]:
+        """Entries whose finding no longer occurs (candidates to prune)."""
+        seen = Counter(f.fingerprint() for f in findings)
+        stale: List[dict] = []
+        spent: Counter = Counter()
+        for entry in self.entries:
+            fp = entry["fingerprint"]
+            spent[fp] += 1
+            if spent[fp] > seen.get(fp, 0):
+                stale.append(entry)
+        return stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,70 @@
+"""Rule registry.
+
+Adding a rule is three steps (see ``docs/STATIC_ANALYSIS.md``):
+
+1. subclass :class:`~repro.lint.rules.base.Rule` in a module here,
+2. give it the next free ``RL0xx`` id, a severity and a summary,
+3. append the class to :data:`RULE_CLASSES`.
+
+Ids are never reused: a retired rule's id stays retired so baselines
+and suppressions keep meaning what they meant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.lint.rules.base import Rule, RuleContext
+from repro.lint.rules.determinism import (
+    SetIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from repro.lint.rules.floats import FloatEqualityRule
+from repro.lint.rules.provenance import DeviceProvenanceRule
+from repro.lint.rules.simhygiene import SimProcessHygieneRule
+from repro.lint.rules.units import MagicUnitLiteralRule, MixedSizeUnitsRule
+
+#: Every registered rule, in id order.
+RULE_CLASSES: List[Type[Rule]] = [
+    MagicUnitLiteralRule,  # RL001
+    MixedSizeUnitsRule,  # RL002
+    UnseededRandomRule,  # RL003
+    WallClockRule,  # RL004
+    SetIterationRule,  # RL005
+    FloatEqualityRule,  # RL006
+    SimProcessHygieneRule,  # RL007
+    DeviceProvenanceRule,  # RL008
+]
+
+
+def get_rule_classes(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Type[Rule]]:
+    """The registry filtered by ``--select`` / ``--ignore`` id lists."""
+    classes = list(RULE_CLASSES)
+    if select:
+        wanted = {s.upper() for s in select}
+        unknown = wanted - {c.rule_id for c in classes}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+        classes = [c for c in classes if c.rule_id in wanted]
+    if ignore:
+        dropped = {s.upper() for s in ignore}
+        classes = [c for c in classes if c.rule_id not in dropped]
+    return classes
+
+
+def rule_catalog() -> Dict[str, str]:
+    """``{rule_id: summary}`` for ``--list-rules`` and the docs test."""
+    return {cls.rule_id: cls.summary for cls in RULE_CLASSES}
+
+
+__all__ = [
+    "Rule",
+    "RuleContext",
+    "RULE_CLASSES",
+    "get_rule_classes",
+    "rule_catalog",
+]

@@ -1,0 +1,109 @@
+"""Rule plumbing: the context a rule sees and the base class it extends.
+
+A rule is a class with a ``rule_id`` (``RL001``...), a ``severity``, a
+one-line ``summary`` (shown by ``--list-rules``) and a ``check`` method
+yielding :class:`~repro.lint.findings.Finding` objects.  Rules are
+stateless between files; everything file- or repo-scoped arrives in the
+:class:`RuleContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may consult while checking one file."""
+
+    path: str
+    tree: ast.Module
+    lines: Sequence[str]
+    #: Dotted module name (``repro.sim.kernel``) or None outside repro.
+    module: Optional[str] = None
+    #: Modules under the determinism contract (see repro.lint.imports).
+    determinism_critical: Set[str] = field(default_factory=set)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    @property
+    def is_determinism_critical(self) -> bool:
+        return self.module is not None and self.module in self.determinism_critical
+
+    @property
+    def in_package(self) -> str:
+        """The sub-package under repro (``sim``, ``devices``, ...)."""
+        if not self.module or not self.module.startswith("repro."):
+            return ""
+        return self.module.split(".")[1] if "." in self.module else ""
+
+    def line_has_comment(self, lineno: int) -> bool:
+        """True if the physical line carries a ``#`` comment (cheap
+        textual check; good enough for provenance annotations)."""
+        return "#" in self.source_line(lineno)
+
+
+class Rule:
+    """Base class for all lint rules."""
+
+    rule_id: str = "RL000"
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: RuleContext,
+        node: ast.AST,
+        message: str,
+        fix_hint: str = "",
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            path=ctx.path,
+            line=lineno,
+            col=col,
+            message=message,
+            fix_hint=fix_hint or f"or suppress: # repro-lint: disable={self.rule_id}",
+            source_line=ctx.source_line(lineno),
+        )
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute/name chains; '' for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def numeric_value(node: ast.AST) -> Optional[float]:
+    """The numeric value of a literal or +/- of one, else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        inner = numeric_value(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None

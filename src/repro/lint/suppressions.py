@@ -1,0 +1,83 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the linters people already know:
+
+- line-level::
+
+      x = 1024  # repro-lint: disable=RL001
+      y = 1024  # repro-lint: disable=RL001,RL002
+      z = 1024  # repro-lint: disable=all
+
+  A suppression on the line *above* a statement also applies, so long
+  comments can live on their own line::
+
+      # repro-lint: disable=RL008 -- calibration constant, see DESIGN.md
+      pulse_energy = 1.3e-12
+
+- file-level, anywhere in the first 10 lines::
+
+      # repro-lint: disable-file=RL005
+
+Anything after the rule list (e.g. ``-- justification text``) is
+ignored, and writing a justification there is encouraged.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Set
+
+from repro.lint.findings import Finding
+
+#: Lines scanned for ``disable-file`` pragmas.
+FILE_PRAGMA_WINDOW = 10
+
+_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+|all)")
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9,\s]+|all)")
+
+
+def _parse_ids(raw: str) -> Set[str]:
+    ids = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    return {"ALL"} if "ALL" in ids else ids
+
+
+class SuppressionIndex:
+    """Pre-parsed suppression pragmas for one file."""
+
+    def __init__(self, lines: Sequence[str]) -> None:
+        #: line number (1-based) -> set of rule ids (or {"ALL"})
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_level: Set[str] = set()
+        for lineno, text in enumerate(lines, start=1):
+            match = _LINE_RE.search(text)
+            if match:
+                self.by_line[lineno] = _parse_ids(match.group(1))
+            if lineno <= FILE_PRAGMA_WINDOW:
+                fmatch = _FILE_RE.search(text)
+                if fmatch:
+                    self.file_level |= _parse_ids(fmatch.group(1))
+
+    def _ids_cover(self, ids: Set[str], rule_id: str) -> bool:
+        return "ALL" in ids or rule_id.upper() in ids
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True if an inline or file pragma covers this finding.
+
+        A line pragma applies to its own line and to the line directly
+        below it (comment-above style).
+        """
+        if self._ids_cover(self.file_level, finding.rule_id):
+            return True
+        for lineno in (finding.line, finding.line - 1):
+            ids = self.by_line.get(lineno)
+            if ids and self._ids_cover(ids, finding.rule_id):
+                return True
+        return False
+
+    def split(self, findings: Sequence[Finding]):
+        """Partition findings into (kept, suppressed)."""
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            (suppressed if self.is_suppressed(finding) else kept).append(finding)
+        return kept, suppressed

@@ -19,7 +19,7 @@ from typing import Optional
 from repro.core.retention import RetentionModel, RetentionParams
 from repro.devices.base import TechnologyProfile
 from repro.devices.catalog import HBM3E, LPDDR5X, NAND_SLC, RRAM_POTENTIAL
-from repro.units import GiB, HOUR
+from repro.units import GiB, HOUR, TiB
 
 
 @dataclass(frozen=True)
@@ -144,7 +144,7 @@ def lpddr_tier(capacity_bytes: int, packages: Optional[int] = None) -> MemoryTie
 def flash_tier(capacity_bytes: int, devices: Optional[int] = None) -> MemoryTier:
     """An SLC-NAND pool (the cold floor; mostly a foil in experiments)."""
     if devices is None:
-        devices = max(1, round(capacity_bytes / (1024 * GiB)))
+        devices = max(1, round(capacity_bytes / TiB))
     return MemoryTier(
         name="flash",
         profile=NAND_SLC,

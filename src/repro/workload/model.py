@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import GiB, MiB
+from repro.units import GiB, KiB, MiB
 
 
 @dataclass(frozen=True)
@@ -147,7 +147,7 @@ class ModelConfig:
         return (
             f"{self.name}: {self.n_params / 1e9:.0f}B params, "
             f"weights {self.weights_bytes / GiB:.0f} GiB, "
-            f"KV {self.kv_bytes_per_token / 1024:.0f} KiB/token "
+            f"KV {self.kv_bytes_per_token / KiB:.0f} KiB/token "
             f"(GQA x{self.gqa_group_factor})"
         )
 

@@ -61,8 +61,10 @@ class SpeculationConfig:
         token): ``(1 - alpha^(k+1)) / (1 - alpha)``; >= 1 always."""
         a = self.acceptance_rate
         k = self.draft_tokens
-        if a == 0.0:
-            return 1.0
+        # No zero guard needed: at a == 0, 0**(k+1) == 0 exactly, so the
+        # formula returns 1.0 (no draft accepted; only the bonus token),
+        # and the denominator 1 - a is bounded away from 0 because
+        # __post_init__ enforces a < 1.
         return (1.0 - a ** (k + 1)) / (1.0 - a)
 
 

@@ -1,0 +1,310 @@
+"""Per-rule behaviour of repro-lint: each RL0xx fires on its target
+pattern and stays quiet on the blessed idiom next to it."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.findings import Finding
+from repro.lint.rules import RULE_CLASSES, get_rule_classes, rule_catalog
+
+
+def run_lint(
+    tmp_path: Path,
+    source: str,
+    relpath: str = "repro/mod.py",
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one synthetic file; return *new* findings."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    rule_classes = get_rule_classes(select) if select else None
+    result = lint_paths([tmp_path], rule_classes=rule_classes, repo_root=tmp_path)
+    return result.new
+
+
+def rule_ids(findings: List[Finding]) -> List[str]:
+    return [f.rule_id for f in findings]
+
+
+class TestRegistry:
+    def test_ids_are_unique_and_sequential(self):
+        ids = [cls.rule_id for cls in RULE_CLASSES]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)
+
+    def test_every_rule_has_a_summary(self):
+        for rule_id, summary in rule_catalog().items():
+            assert summary, f"{rule_id} has no summary"
+
+    def test_select_unknown_id_raises(self):
+        with pytest.raises(ValueError, match="RL999"):
+            get_rule_classes(["RL999"])
+
+
+class TestRL001MagicUnitLiteral:
+    def test_power_of_1024_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "capacity = 32 * 1024**3\n")
+        assert "RL001" in rule_ids(findings)
+
+    def test_power_of_two_alias_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "capacity = 4 * 2**30\n")
+        assert "RL001" in rule_ids(findings)
+
+    def test_scale_factor_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "kib = total / 1024\n")
+        assert "RL001" in rule_ids(findings)
+
+    def test_quantity_keyword_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "x = f(refresh_window_s=86400)\n")
+        assert "RL001" in rule_ids(findings)
+
+    def test_bare_count_not_flagged(self, tmp_path):
+        # 1024 as a count (loop bound, table size) is not a unit slip.
+        findings = run_lint(tmp_path, "max_t = 1024\n")
+        assert "RL001" not in rule_ids(findings)
+
+    def test_named_constant_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path, "from repro.units import GiB\ncapacity = 32 * GiB\n"
+        )
+        assert "RL001" not in rule_ids(findings)
+
+
+class TestRL002MixedSizeUnits:
+    def test_binary_plus_decimal_flagged(self, tmp_path):
+        source = """\
+            from repro.units import GB, GiB
+            total = 2 * GiB + 1 * GB
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL002" in rule_ids(findings)
+
+    def test_same_base_clean(self, tmp_path):
+        source = """\
+            from repro.units import GiB, MiB
+            total = 2 * GiB + 512 * MiB
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL002" not in rule_ids(findings)
+
+
+class TestRL003UnseededRandom:
+    def test_module_level_random_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "import random\nx = random.random()\n")
+        assert "RL003" in rule_ids(findings)
+
+    def test_unseeded_random_class_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "import random\nrng = random.Random()\n")
+        assert "RL003" in rule_ids(findings)
+
+    def test_seeded_random_class_clean(self, tmp_path):
+        findings = run_lint(tmp_path, "import random\nrng = random.Random(42)\n")
+        assert "RL003" not in rule_ids(findings)
+
+    def test_imported_random_ctor_tracked(self, tmp_path):
+        findings = run_lint(
+            tmp_path, "from random import Random\nrng = Random()\n"
+        )
+        assert "RL003" in rule_ids(findings)
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path, "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert "RL003" in rule_ids(findings)
+
+    def test_seeded_default_rng_clean(self, tmp_path):
+        findings = run_lint(
+            tmp_path, "import numpy as np\nrng = np.random.default_rng(7)\n"
+        )
+        assert "RL003" not in rule_ids(findings)
+
+    def test_numpy_legacy_global_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "import numpy as np\nx = np.random.rand(3)\n")
+        assert "RL003" in rule_ids(findings)
+
+
+class TestRL004WallClock:
+    def test_time_time_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "import time\nstart = time.time()\n")
+        assert "RL004" in rule_ids(findings)
+
+    def test_datetime_now_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path, "from datetime import datetime\nts = datetime.now()\n"
+        )
+        assert "RL004" in rule_ids(findings)
+
+    def test_simulated_clock_clean(self, tmp_path):
+        findings = run_lint(tmp_path, "now = sim.now\n")
+        assert "RL004" not in rule_ids(findings)
+
+
+class TestRL005SetIteration:
+    SIM_PATH = "repro/sim/custom.py"
+
+    def test_set_literal_iteration_flagged_in_sim(self, tmp_path):
+        source = """\
+            for item in {"a", "b"}:
+                handle(item)
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SIM_PATH)
+        assert "RL005" in rule_ids(findings)
+
+    def test_list_of_set_flagged_in_sim(self, tmp_path):
+        findings = run_lint(
+            tmp_path, "order = list(set(names))\n", relpath=self.SIM_PATH
+        )
+        assert "RL005" in rule_ids(findings)
+
+    def test_sorted_set_clean(self, tmp_path):
+        source = """\
+            for item in sorted({"a", "b"}):
+                handle(item)
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SIM_PATH)
+        assert "RL005" not in rule_ids(findings)
+
+    def test_not_flagged_outside_critical_modules(self, tmp_path):
+        # repro/docs_helper.py neither imports sim nor is imported by it.
+        source = """\
+            for item in {"a", "b"}:
+                handle(item)
+        """
+        findings = run_lint(tmp_path, source, relpath="repro/docs_helper.py")
+        assert "RL005" not in rule_ids(findings)
+
+    def test_importing_sim_makes_module_critical(self, tmp_path):
+        source = """\
+            from repro.sim import kernel
+            for item in {"a", "b"}:
+                handle(item)
+        """
+        (tmp_path / "repro/sim").mkdir(parents=True)
+        (tmp_path / "repro/sim/kernel.py").write_text("x = 1\n")
+        findings = run_lint(tmp_path, source, relpath="repro/driver.py")
+        assert "RL005" in rule_ids(findings)
+
+
+class TestRL006FloatEquality:
+    def test_float_literal_equality_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "ok = x == 0.5\n")
+        assert "RL006" in rule_ids(findings)
+
+    def test_not_equal_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "ok = ratio != 1.0\n")
+        assert "RL006" in rule_ids(findings)
+
+    def test_ordered_guard_clean(self, tmp_path):
+        findings = run_lint(tmp_path, "ok = x <= 0.0\n")
+        assert "RL006" not in rule_ids(findings)
+
+    def test_assert_whitelisted(self, tmp_path):
+        findings = run_lint(tmp_path, "assert x == 0.5\n")
+        assert "RL006" not in rule_ids(findings)
+
+    def test_int_literal_clean(self, tmp_path):
+        findings = run_lint(tmp_path, "ok = count == 0\n")
+        assert "RL006" not in rule_ids(findings)
+
+
+class TestRL007SimProcessHygiene:
+    def test_process_yielding_literal_flagged(self, tmp_path):
+        source = """\
+            from repro.sim.process import Timeout
+
+            def proc():
+                yield Timeout(1.0)
+                yield 5
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL007" in rule_ids(findings)
+
+    def test_bare_yield_in_process_flagged(self, tmp_path):
+        source = """\
+            from repro.sim.process import Timeout
+
+            def proc():
+                yield Timeout(1.0)
+                yield
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL007" in rule_ids(findings)
+
+    def test_data_generator_exempt(self, tmp_path):
+        # A plain iterator yielding values is not a sim process.
+        source = """\
+            def tokens():
+                yield 5
+                yield 6
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL007" not in rule_ids(findings)
+
+    def test_blocking_call_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "import time\ntime.sleep(1)\n")
+        assert "RL007" in rule_ids(findings)
+
+
+class TestRL008DeviceProvenance:
+    DEV_PATH = "repro/devices/custom.py"
+
+    def test_profile_without_source_flagged(self, tmp_path):
+        source = """\
+            profile = TechnologyProfile(
+                name="x",
+                retention_s=1.0,
+            )
+        """
+        findings = run_lint(tmp_path, source, relpath=self.DEV_PATH)
+        assert "RL008" in rule_ids(findings)
+
+    def test_profile_with_source_clean(self, tmp_path):
+        source = """\
+            profile = TechnologyProfile(
+                name="x",
+                retention_s=1.0,
+                source="vendor datasheet",
+            )
+        """
+        findings = run_lint(tmp_path, source, relpath=self.DEV_PATH)
+        assert "RL008" not in rule_ids(findings)
+
+    def test_numeric_kwarg_without_comment_flagged(self, tmp_path):
+        source = """\
+            dev = Device(
+                max_pulses=16,
+            )
+        """
+        findings = run_lint(tmp_path, source, relpath=self.DEV_PATH)
+        assert "RL008" in rule_ids(findings)
+
+    def test_numeric_kwarg_with_citation_comment_clean(self, tmp_path):
+        source = """\
+            dev = Device(
+                max_pulses=16,  # verify-loop bound [24]
+            )
+        """
+        findings = run_lint(tmp_path, source, relpath=self.DEV_PATH)
+        assert "RL008" not in rule_ids(findings)
+
+    def test_zero_default_exempt(self, tmp_path):
+        source = """\
+            class Counters:
+                reads: int = 0
+        """
+        findings = run_lint(tmp_path, source, relpath=self.DEV_PATH)
+        assert "RL008" not in rule_ids(findings)
+
+    def test_outside_devices_not_checked(self, tmp_path):
+        findings = run_lint(
+            tmp_path, "dev = Device(max_pulses=16)\n", relpath="repro/core/x.py"
+        )
+        assert "RL008" not in rule_ids(findings)

@@ -10,6 +10,7 @@ from repro.units import (
     KiB,
     MiB,
     MINUTE,
+    TiB,
     YEAR,
     bytes_to_human,
     j_per_byte_to_pj_per_bit,
@@ -35,6 +36,31 @@ class TestHumanRendering:
         assert bytes_to_human(3 * GiB) == "3.00 GiB"
         assert bytes_to_human(1536) == "1.50 KiB"
         assert bytes_to_human(512) == "512 B"
+
+    def test_bytes_to_human_zero(self):
+        assert bytes_to_human(0) == "0 B"
+
+    def test_bytes_to_human_negative(self):
+        # Sign survives scaling (abs() is only used to pick the unit).
+        assert bytes_to_human(-3 * GiB) == "-3.00 GiB"
+        assert bytes_to_human(-512) == "-512 B"
+
+    def test_bytes_to_human_exact_boundaries(self):
+        # Exactly one unit of each suffix renders in that suffix.
+        assert bytes_to_human(KiB) == "1.00 KiB"
+        assert bytes_to_human(MiB) == "1.00 MiB"
+        assert bytes_to_human(GiB) == "1.00 GiB"
+        assert bytes_to_human(TiB) == "1.00 TiB"
+
+    def test_bytes_to_human_just_below_boundary(self):
+        assert bytes_to_human(KiB - 1) == "1023 B"
+        assert bytes_to_human(MiB - 1) == "1024.00 KiB"
+
+    def test_bytes_to_human_above_tebibyte_range(self):
+        assert bytes_to_human(2048 * TiB) == "2048.00 TiB"
+
+    def test_bytes_to_human_fractional_input(self):
+        assert bytes_to_human(1.5 * KiB) == "1.50 KiB"
 
     def test_seconds_to_human(self):
         assert seconds_to_human(2 * DAY) == "2.00 d"

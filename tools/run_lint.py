@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Run repro-lint from a checkout without installing the package.
+
+Equivalent to ``PYTHONPATH=src python -m repro.lint ...`` — kept as a
+file so CI and pre-commit hooks have one obvious thing to execute.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
