@@ -21,7 +21,10 @@ from repro.core.dcm import (
 )
 from repro.core.mrm import MRMConfig, MRMDevice
 from repro.core.placement import kv_cache_object
+from repro.parallel import run_sweep
 from repro.units import DAY, GiB, HOUR, MINUTE, MiB
+
+CLASS_COUNTS = (1, 2, 3, 6, 12)
 
 
 def build_objects(n=400, seed=9):
@@ -45,27 +48,39 @@ def log_spaced_classes(count: int, lo=30.0, hi=30 * DAY):
     return list(np.geomspace(lo, hi, count))
 
 
-def run_sweep():
+def a2_point(config, seed):
+    """Score one class-count policy.  The object stream is rebuilt from
+    its own fixed seed at every point so the sweep is embarrassingly
+    parallel yet identical to the old shared-list serial loop (the
+    engine-provided spawn seed goes unused)."""
+    device = MRMDevice(MRMConfig(capacity_bytes=64 * GiB))
+    objects = build_objects(n=config["objects"], seed=config["object_seed"])
+    count = config["classes"]
+    policy = RetentionClassPolicy(classes=log_spaced_classes(count))
+    score = evaluate_policy(policy, objects, device)
+    return {
+        "classes": count,
+        "energy_j": score.total_energy_j,
+        "refreshes": score.refreshes,
+    }
+
+
+def run_class_sweep():
     device = MRMDevice(MRMConfig(capacity_bytes=64 * GiB))
     objects = build_objects()
     flexible = evaluate_policy(LifetimeMatchedPolicy(), objects, device)
-    rows = []
-    for count in (1, 2, 3, 6, 12):
-        policy = RetentionClassPolicy(classes=log_spaced_classes(count))
-        score = evaluate_policy(policy, objects, device)
-        rows.append(
-            {
-                "classes": count,
-                "energy_j": score.total_energy_j,
-                "refreshes": score.refreshes,
-                "vs_flexible": score.total_energy_j / flexible.total_energy_j,
-            }
-        )
+    grid = [
+        {"classes": count, "objects": 400, "object_seed": 9}
+        for count in CLASS_COUNTS
+    ]
+    rows = run_sweep(a2_point, grid)  # repro.parallel fan-out, grid order
+    for row in rows:
+        row["vs_flexible"] = row["energy_j"] / flexible.total_energy_j
     return rows, flexible
 
 
 def test_a2_retention_classes(benchmark, report):
-    rows, flexible = benchmark(run_sweep)
+    rows, flexible = benchmark(run_class_sweep)
     body = format_table(
         [
             [r["classes"], f"{r['energy_j']:.3f}", r["refreshes"],

@@ -22,30 +22,59 @@ from repro.analysis.figures import format_table
 from repro.inference.accelerator import H100_80G
 from repro.inference.cluster import tensor_parallel_group
 from repro.inference.power import PowerModel, best_frequency_under_cap
+from repro.parallel import run_sweep
 from repro.tiering.tiers import hbm_tier, mrm_tier
 from repro.units import GiB, HOUR
 from repro.workload.model import LLAMA2_70B
 
+CAPS = (4000.0, 3000.0, 2500.0, 2200.0, 2000.0)
 
-def run_cap_sweep():
-    power_model = PowerModel(tensor_parallel_group(H100_80G, 4))
-    configs = {
-        "hbm-only (832G)": [hbm_tier(832 * GiB)],
-        "hbm+mrm (320G+512G)": [
+
+def _tier_set(name):
+    if name == "hbm-only (832G)":
+        return [hbm_tier(832 * GiB)]
+    if name == "hbm+mrm (320G+512G)":
+        return [
             hbm_tier(320 * GiB),
             mrm_tier(512 * GiB, retention_s=6 * HOUR),
-        ],
-    }
-    caps = (4000.0, 3000.0, 2500.0, 2200.0, 2000.0)
-    results = {}
-    for name, tiers in configs.items():
-        results[name] = [
-            best_frequency_under_cap(
-                power_model, LLAMA2_70B, tiers, cap_w=cap
-            )
-            for cap in caps
         ]
-    return caps, results
+    raise KeyError(name)
+
+
+CONFIG_NAMES = ("hbm-only (832G)", "hbm+mrm (320G+512G)")
+
+A7_GRID = [
+    {"tiers": name, "cap_w": cap} for name in CONFIG_NAMES for cap in CAPS
+]
+
+
+def a7_point(config, seed):
+    """Best DVFS operating point for one (tier set, cap) — JSON-able
+    dict, or None when the cap is infeasible (deterministic)."""
+    power_model = PowerModel(tensor_parallel_group(H100_80G, 4))
+    point = best_frequency_under_cap(
+        power_model, LLAMA2_70B, _tier_set(config["tiers"]),
+        cap_w=config["cap_w"],
+    )
+    if point is None:
+        return None
+    return {
+        "frequency": point.frequency,
+        "tokens_per_s": point.tokens_per_s,
+        "total_power_w": point.total_power_w,
+    }
+
+
+def run_cap_sweep():
+    # Dense (tier set x cap) grid through repro.parallel; grid order lets
+    # the per-configuration lists be rebuilt exactly as the serial loop
+    # produced them.
+    points = run_sweep(a7_point, A7_GRID)
+    results = {
+        name: points[i * len(CAPS):(i + 1) * len(CAPS)]
+        for i, name in enumerate(CONFIG_NAMES)
+    }
+    return CAPS, results
 
 
 def test_a7_power_cap(benchmark, report):
@@ -56,7 +85,8 @@ def test_a7_power_cap(benchmark, report):
         for name in results:
             point = results[name][index]
             row.append(
-                f"{point.tokens_per_s:.0f} tok/s @ f={point.frequency:.2f}"
+                f"{point['tokens_per_s']:.0f} tok/s"
+                f" @ f={point['frequency']:.2f}"
                 if point
                 else "INFEASIBLE"
             )
@@ -73,8 +103,10 @@ def test_a7_power_cap(benchmark, report):
         if hbm_point is None:
             continue
         assert mrm_point is not None
-        assert mrm_point.tokens_per_s >= hbm_point.tokens_per_s * 0.999
-        assert mrm_point.total_power_w < hbm_point.total_power_w
+        assert (
+            mrm_point["tokens_per_s"] >= hbm_point["tokens_per_s"] * 0.999
+        )
+        assert mrm_point["total_power_w"] < hbm_point["total_power_w"]
     # And the MRM configuration survives at least as far down the sweep.
     hbm_feasible = sum(1 for p in hbm_points if p is not None)
     mrm_feasible = sum(1 for p in mrm_points if p is not None)

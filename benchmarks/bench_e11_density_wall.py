@@ -16,29 +16,37 @@ from repro.analysis.figures import format_table
 from repro.core.retention import RetentionModel
 from repro.devices.catalog import RRAM_POTENTIAL
 from repro.devices.hbm import HBM_ROADMAP, HBMStack
+from repro.parallel import run_sweep
 from repro.units import GiB, HOUR
 from repro.workload.model import GPT_CLASS_500B
 
+_GENERATIONS = {generation.name: generation for generation in HBM_ROADMAP}
+
+E11_GRID = [{"generation": name} for name in _GENERATIONS]
+
+
+def e11_point(config, seed):
+    """Capacity/yield/cost of one HBM generation (deterministic)."""
+    generation = _GENERATIONS[config["generation"]]
+    stack = HBMStack(
+        layers=generation.max_layers,
+        capacity_per_layer_bytes=generation.capacity_per_layer_bytes,
+    )
+    return {
+        "generation": generation.name,
+        "layers": generation.max_layers,
+        "capacity_gib": generation.max_stack_capacity() / GiB,
+        "yield": stack.stack_yield(),
+        "cost_multiplier": stack.cost_multiplier_vs_planar(),
+        "stacks_for_frontier": HBMStack.stacks_needed(
+            GPT_CLASS_500B.weights_bytes, generation
+        ),
+    }
+
 
 def run_density_wall():
-    roadmap = []
-    for generation in HBM_ROADMAP:
-        stack = HBMStack(
-            layers=generation.max_layers,
-            capacity_per_layer_bytes=generation.capacity_per_layer_bytes,
-        )
-        roadmap.append(
-            {
-                "generation": generation.name,
-                "layers": generation.max_layers,
-                "capacity_gib": generation.max_stack_capacity() / GiB,
-                "yield": stack.stack_yield(),
-                "cost_multiplier": stack.cost_multiplier_vs_planar(),
-                "stacks_for_frontier": HBMStack.stacks_needed(
-                    GPT_CLASS_500B.weights_bytes, generation
-                ),
-            }
-        )
+    # Roadmap generations evaluated through repro.parallel (grid order).
+    roadmap = run_sweep(e11_point, E11_GRID)
     mrm_density_gain = RetentionModel(RRAM_POTENTIAL).density_multiplier(
         6 * HOUR
     )

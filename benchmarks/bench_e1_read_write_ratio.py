@@ -11,22 +11,35 @@ operating points.
 """
 
 from repro.analysis.figures import format_table
+from repro.parallel import run_sweep
 from repro.workload.model import LLAMA2_70B, LLAMA2_70B_MHA
 from repro.workload.phases import decode_step_traffic
 
+_MODELS = {model.name: model for model in (LLAMA2_70B, LLAMA2_70B_MHA)}
+
+#: The sweep grid, as cache-canonical point configs (see docs/PERFORMANCE.md).
+E1_GRID = [
+    {"model": name, "context": context, "batch": batch}
+    for name in _MODELS
+    for context in (512, 2048, 4096)
+    for batch in (1, 8)
+]
+
+
+def e1_point(config, seed):
+    """One grid point: the decode-step read:write ratio (deterministic,
+    so the engine-provided seed goes unused)."""
+    model = _MODELS[config["model"]]
+    traffic = decode_step_traffic(model, config["context"], config["batch"])
+    return [config["model"], config["context"], config["batch"],
+            f"{traffic.read_write_ratio:.0f}:1",
+            traffic.read_write_ratio]
+
 
 def run_ratios():
-    rows = []
-    for model in (LLAMA2_70B, LLAMA2_70B_MHA):
-        for context in (512, 2048, 4096):
-            for batch in (1, 8):
-                traffic = decode_step_traffic(model, context, batch)
-                rows.append(
-                    [model.name, context, batch,
-                     f"{traffic.read_write_ratio:.0f}:1",
-                     traffic.read_write_ratio]
-                )
-    return rows
+    # Fanned out by repro.parallel (REPRO_WORKERS); results arrive in
+    # grid order, so the table is bit-identical to the old serial loop.
+    return run_sweep(e1_point, E1_GRID)
 
 
 def test_e1_read_write_ratio(benchmark, report):

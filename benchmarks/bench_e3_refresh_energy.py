@@ -13,23 +13,33 @@ and in-package (hot) HBM refreshes 2x as often as cool DDR.
 from repro.analysis.figures import format_table
 from repro.devices.hbm import HBMStack
 from repro.energy.model import memory_energy
+from repro.parallel import run_sweep
 from repro.tiering.tiers import hbm_tier, lpddr_tier, mrm_tier
 from repro.units import GiB, HOUR
 
+_TIER_FACTORIES = {"hbm": hbm_tier, "lpddr": lpddr_tier, "mrm": mrm_tier}
+
+
+def e3_point(config, seed):
+    """Idle-energy breakdown of one equal-capacity tier (deterministic)."""
+    tier = _TIER_FACTORIES[config["tier"]](config["capacity_bytes"])
+    breakdown = memory_energy(
+        tier, config["duration_s"], bytes_read=0, bytes_written=0
+    )
+    return {
+        "tier": tier.name,
+        "refresh_j": breakdown.refresh_j,
+        "static_j": breakdown.static_j,
+        "idle_power_w": breakdown.mean_power_w,
+    }
+
 
 def run_idle_energy(capacity=192 * GiB, duration=HOUR):
-    tiers = [hbm_tier(capacity), lpddr_tier(capacity), mrm_tier(capacity)]
-    rows = []
-    for tier in tiers:
-        breakdown = memory_energy(tier, duration, bytes_read=0, bytes_written=0)
-        rows.append(
-            {
-                "tier": tier.name,
-                "refresh_j": breakdown.refresh_j,
-                "static_j": breakdown.static_j,
-                "idle_power_w": breakdown.mean_power_w,
-            }
-        )
+    grid = [
+        {"tier": name, "capacity_bytes": capacity, "duration_s": duration}
+        for name in ("hbm", "lpddr", "mrm")
+    ]
+    rows = run_sweep(e3_point, grid)  # repro.parallel fan-out, grid order
     hot = HBMStack(layers=8, temperature_c=95.0)
     cool = HBMStack(layers=8, temperature_c=55.0)
     derating = (

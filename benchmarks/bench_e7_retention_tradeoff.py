@@ -15,29 +15,47 @@ product-to-potential endurance recovery).
 from repro.analysis.figures import format_table
 from repro.core.retention import RetentionModel, TEN_YEARS
 from repro.devices.catalog import PCM_OPTANE, RRAM_WEEBIT, STTMRAM_EVERSPIN
+from repro.parallel import run_sweep
 from repro.units import DAY, HOUR, MINUTE, YEAR, seconds_to_human
 
 RETENTIONS = (TEN_YEARS, YEAR, 30 * DAY, DAY, HOUR, MINUTE)
 
+_REFERENCES = {
+    profile.name: profile
+    for profile in (RRAM_WEEBIT, PCM_OPTANE, STTMRAM_EVERSPIN)
+}
+
+E7_GRID = [
+    {"reference": name, "retention_s": float(retention)}
+    for name in _REFERENCES
+    for retention in RETENTIONS
+]
+
+
+def e7_point(config, seed):
+    """One (technology, retention) relaxation point (deterministic)."""
+    reference = _REFERENCES[config["reference"]]
+    model = RetentionModel(reference)
+    retention = config["retention_s"]
+    return {
+        "reference": config["reference"],
+        "retention": retention,
+        "energy_rel": model.write_energy_j_per_byte(retention)
+        / reference.write_energy_j_per_byte,
+        "latency_rel": model.write_latency_s(retention)
+        / reference.write_latency_s,
+        "endurance": model.endurance_cycles(retention),
+        "density_rel": model.density_multiplier(retention),
+    }
+
 
 def run_tradeoff():
-    table = {}
-    for reference in (RRAM_WEEBIT, PCM_OPTANE, STTMRAM_EVERSPIN):
-        model = RetentionModel(reference)
-        rows = []
-        for retention in RETENTIONS:
-            rows.append(
-                {
-                    "retention": retention,
-                    "energy_rel": model.write_energy_j_per_byte(retention)
-                    / reference.write_energy_j_per_byte,
-                    "latency_rel": model.write_latency_s(retention)
-                    / reference.write_latency_s,
-                    "endurance": model.endurance_cycles(retention),
-                    "density_rel": model.density_multiplier(retention),
-                }
-            )
-        table[reference.name] = rows
+    # Dense (technology x retention) grid through repro.parallel; rows
+    # come back in grid order so regrouping is deterministic.
+    points = run_sweep(e7_point, E7_GRID)
+    table = {name: [] for name in _REFERENCES}
+    for row in points:
+        table[row["reference"]].append(row)
     return table
 
 

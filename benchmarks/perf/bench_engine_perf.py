@@ -1,0 +1,159 @@
+"""Perf microbenchmarks for the simulator and the parallel sweep engine.
+
+Three measurements, appended to ``BENCH_sim.json`` (repo root) as one
+run entry per invocation:
+
+- ``events_per_sec`` — raw discrete-event kernel throughput on a
+  many-job queueing simulation;
+- ``sweep`` — wall-clock of the same sweep run serially and with 4
+  workers through :mod:`repro.parallel`, with the speedup and a
+  byte-identical results check.  Sweep points combine real simulator
+  work with a fixed blocking wait, so the speedup number measures the
+  *engine's* fan-out and overlap rather than the host's core count
+  (CI runners can be single-core; process workers still overlap the
+  blocking portion of every point);
+- ``cache`` — cold and warm hit rates of the content-addressed result
+  cache on an unchanged sweep, with a cached-equals-recomputed
+  correctness cross-check (this check runs even on the tiny grid and
+  its failure fails CI).
+
+Set ``REPRO_PERF_TINY=1`` to shrink every grid for CI smoke runs; the
+tiny grid still exercises every code path and every correctness
+assertion, but skips the absolute-speedup threshold (meaningless at
+millisecond scale).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.parallel import ResultCache, SweepEngine, run_sweep
+from repro.sim import Histogram, Simulator, Timeout
+
+TINY = os.environ.get("REPRO_PERF_TINY") == "1"
+
+#: Events per queueing job: the spawn event plus the timeout completion.
+EVENTS_PER_JOB = 2
+
+
+def _queueing_sim(jobs, seed):
+    """One seeded M/M/inf-style drain through the event kernel."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    latency = Histogram("latency")
+
+    def job(delay):
+        start = sim.now
+        yield Timeout(delay)
+        latency.observe(sim.now - start)
+
+    for gap in rng.exponential(1.0, size=jobs):
+        sim.spawn(job(float(gap)))
+    sim.run()
+    return {
+        "jobs": jobs,
+        "mean_latency_s": latency.mean(),
+        "p99_latency_s": latency.quantile(0.99),
+        "end_time_s": sim.now,
+    }
+
+
+def perf_point(config, seed):
+    """One sweep point: real kernel work plus a fixed blocking wait.
+
+    The wait makes per-point cost independent of host CPU count, so
+    the serial-vs-parallel comparison isolates the sweep engine's
+    fan-out (see module docstring).  Results are a pure function of
+    (config, seed) — the wait contributes nothing to the values.
+    """
+    result = _queueing_sim(config["jobs"], seed)
+    time.sleep(config["wait_s"])
+    return result
+
+
+def _sweep_grid():
+    jobs = 100 if TINY else 800
+    wait_s = 0.01 if TINY else 0.35
+    return [{"jobs": jobs + 10 * i, "wait_s": wait_s} for i in range(8)]
+
+
+def test_kernel_events_per_sec(bench_record, report):
+    jobs = 2_000 if TINY else 20_000
+    start = time.perf_counter()
+    result = _queueing_sim(jobs, seed=7)
+    elapsed = time.perf_counter() - start
+    events_per_sec = EVENTS_PER_JOB * jobs / elapsed
+    bench_record["events_per_sec"] = events_per_sec
+    report(
+        "PERF — event-kernel throughput",
+        f"{jobs} jobs ({EVENTS_PER_JOB * jobs} events) in {elapsed:.3f} s"
+        f" -> {events_per_sec:,.0f} events/s"
+        f" (mean latency {result['mean_latency_s']:.3f} s)",
+    )
+    assert events_per_sec > 1_000
+
+
+def test_sweep_parallel_speedup(bench_record, report):
+    grid = _sweep_grid()
+
+    start = time.perf_counter()
+    serial = run_sweep(perf_point, grid, root_seed=11, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(perf_point, grid, root_seed=11, workers=4)
+    parallel_s = time.perf_counter() - start
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    bench_record["sweep"] = {
+        "points": len(grid),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "workers": 4,
+        "speedup": speedup,
+    }
+    report(
+        "PERF — sweep engine fan-out (4 workers)",
+        f"{len(grid)} points: serial {serial_s:.2f} s,"
+        f" 4 workers {parallel_s:.2f} s -> {speedup:.2f}x",
+    )
+    # The engine's core guarantee: scheduling never leaks into results.
+    assert parallel == serial  # repro-lint: disable=RL006
+    if not TINY:
+        assert speedup >= 2.0
+
+
+def test_cache_hit_rate(bench_record, report, tmp_path):
+    grid = _sweep_grid()[:4] if TINY else _sweep_grid()
+    # Strip the blocking wait: cache perf, not fan-out, is under test.
+    grid = [dict(point, wait_s=0.0) for point in grid]
+    cache = ResultCache(tmp_path / "perf-cache")
+    engine = SweepEngine(workers=1, cache=cache, root_seed=3)
+
+    cold = engine.run(perf_point, grid)
+    cold_hit_rate = cold.stats.cache_hit_rate()
+    cache.reset_stats()
+
+    warm = engine.run(perf_point, grid)
+    warm_hit_rate = warm.stats.cache_hit_rate()
+
+    bench_record["cache"] = {
+        "points": len(grid),
+        "cold_hit_rate": cold_hit_rate,
+        "warm_hit_rate": warm_hit_rate,
+        "entries": cache.entry_count(),
+    }
+    report(
+        "PERF — result-cache hit rates (unchanged sweep, two runs)",
+        f"{len(grid)} points: cold {cold_hit_rate:.0%},"
+        f" warm {warm_hit_rate:.0%},"
+        f" {cache.entry_count()} entries on disk",
+    )
+    assert cold_hit_rate == 0.0
+    assert warm_hit_rate >= 0.9
+    # Cache-correctness cross-check (always on, including tiny/CI runs):
+    # served-from-cache values must equal a fresh uncached recompute.
+    fresh = run_sweep(perf_point, grid, root_seed=3, workers=1)
+    assert list(warm) == fresh  # repro-lint: disable=RL006
+    assert list(cold) == fresh  # repro-lint: disable=RL006

@@ -236,8 +236,8 @@ class InferenceEngine:
         self._account_step(traffic, timing)
         yield Timeout(timing.duration_s)
         now = self.sim.now
+        self.kv.append_batch([c.context_id for c in batch])
         for context in batch:
-            self.kv.append(context.context_id, 1)
             context.generated += 1
             if context.first_token_at is None:
                 context.first_token_at = now

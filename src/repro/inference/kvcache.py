@@ -16,7 +16,7 @@ The manager tracks bytes, not tensors — consistent with the library-wide
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.inference.paging import OutOfPages, PagedAllocator, PageTable
 from repro.workload.model import ModelConfig
@@ -64,6 +64,10 @@ class KVCacheManager:
         self._tables: Dict[int, PageTable] = {}
         #: prefix key -> context id whose pages serve as the share source
         self._prefix_index: Dict[str, int] = {}
+        #: reverse index: context id -> prefix keys it anchors.  Kept in
+        #: lockstep with ``_prefix_index`` so eviction is O(keys owned),
+        #: not O(all prefix keys ever registered).
+        self._prefix_keys_by_context: Dict[int, List[str]] = {}
         self.prefix_hits = 0
         self.prefix_misses = 0
 
@@ -124,6 +128,9 @@ class KVCacheManager:
                 self.prefix_hits += 1
             else:
                 self._prefix_index[prefix_key] = context_id
+                self._prefix_keys_by_context.setdefault(
+                    context_id, []
+                ).append(prefix_key)
                 self.prefix_misses += 1
         remaining = prompt_tokens - shared_tokens
         try:
@@ -138,14 +145,47 @@ class KVCacheManager:
         """Record decode appends; returns pages newly allocated."""
         return self._table(context_id).append_tokens(tokens)
 
+    def append_batch(self, context_ids: Iterable[int], tokens: int = 1) -> int:
+        """Record one decode step for a whole batch in a single call.
+
+        Equivalent to ``append(cid, tokens)`` per context, in order —
+        page allocation order (and thus every downstream result) is
+        identical to the per-context loop.  The batch path exists for
+        the decode hot loop: it skips the per-call table lookup dispatch
+        and takes a no-allocation fast path for the common step where a
+        context's current page still has room.  Returns total pages
+        newly allocated.
+        """
+        if tokens < 0:
+            raise ValueError("token count must be >= 0")
+        tables = self._tables
+        allocated = 0
+        for context_id in context_ids:
+            table = tables.get(context_id)
+            if table is None:
+                raise KeyError(f"context {context_id} is not registered")
+            total = table.tokens + tokens
+            if total <= len(table.pages) * table.tokens_per_page:
+                # Fast path: fits in already-allocated pages.
+                table.tokens = total
+            else:
+                allocated += table.append_tokens(tokens)
+        return allocated
+
     def release(self, context_id: int) -> int:
-        """Free a finished context; returns pages released."""
+        """Free a finished context; returns pages released.
+
+        Cost is O(pages + prefix keys *this* context anchors): the
+        reverse index replaces what used to be a linear scan of every
+        prefix key in the table (regression-tested in
+        ``tests/inference/test_paging_kvcache.py``).
+        """
         table = self._tables.pop(context_id, None)
         if table is None:
             raise KeyError(f"context {context_id} is not registered")
-        stale = [k for k, v in self._prefix_index.items() if v == context_id]
-        for key in stale:
-            del self._prefix_index[key]
+        for key in self._prefix_keys_by_context.pop(context_id, ()):
+            if self._prefix_index.get(key) == context_id:
+                del self._prefix_index[key]
         return table.free()
 
     def _table(self, context_id: int) -> PageTable:

@@ -201,8 +201,8 @@ class DecodeMachine:
             yield Timeout(timing.duration_s)
             now = self.sim.now
             finished: List[_TransferredContext] = []
+            self.kv.append_batch([c.request.request_id for c in self.running])
             for context in self.running:
-                self.kv.append(context.request.request_id, 1)
                 context.generated += 1
                 metrics.counter("tokens_generated").add(1)
                 metrics.histogram("tbt_s").observe(timing.duration_s)

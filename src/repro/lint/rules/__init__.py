@@ -21,6 +21,7 @@ from repro.lint.rules.determinism import (
     WallClockRule,
 )
 from repro.lint.rules.floats import FloatEqualityRule
+from repro.lint.rules.parallelism import AdHocParallelismRule
 from repro.lint.rules.provenance import DeviceProvenanceRule
 from repro.lint.rules.simhygiene import SimProcessHygieneRule
 from repro.lint.rules.units import MagicUnitLiteralRule, MixedSizeUnitsRule
@@ -35,6 +36,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     FloatEqualityRule,  # RL006
     SimProcessHygieneRule,  # RL007
     DeviceProvenanceRule,  # RL008
+    AdHocParallelismRule,  # RL009
 ]
 
 

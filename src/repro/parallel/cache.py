@@ -1,0 +1,222 @@
+"""Content-addressed on-disk cache for sweep-point results.
+
+A sweep point is cached under a key that hashes *everything its result
+can depend on*:
+
+- the point function's identity (``module:qualname``),
+- a **code fingerprint** — a hash of the source files the caller names
+  (at minimum the point function's own module; see
+  :func:`code_fingerprint`),
+- the point's configuration, canonicalised to JSON
+  (:func:`canonical_json` — dataclasses, dicts with sorted keys, tuples
+  and lists all normalise to one byte string),
+- the point's derived seed fingerprint.
+
+Change any of those and the key changes, so stale results are never
+served; leave them unchanged and the point is never re-simulated.
+
+Values are stored as JSON.  ``json`` round-trips Python floats exactly
+(shortest-repr), so a cache hit is bit-identical to the original
+computation — the perf suite asserts this on every CI run.  Writes are
+atomic (temp file + ``os.replace``) so a killed run never leaves a
+truncated entry; unreadable entries are treated as misses and
+overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+#: Bump when the storage layout changes; part of every key.
+CACHE_SCHEMA = 1
+
+
+def _jsonable(obj: Any) -> Any:
+    """Normalise ``obj`` into plain JSON-compatible structures."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return _jsonable(obj.value)
+    if isinstance(obj, dict):
+        keys = list(obj.keys())
+        if not all(isinstance(k, str) for k in keys):
+            raise TypeError(
+                f"cache keys require string dict keys, got {type(keys[0])}"
+            )
+        return {k: _jsonable(obj[k]) for k in sorted(keys)}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        raise TypeError(
+            "sets are not canonicalisable (hash order); pass a sorted list"
+        )
+    if isinstance(obj, (str, bool, int, float)) or obj is None:
+        return obj
+    # numpy scalars expose .item(); anything else is rejected loudly.
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return _jsonable(item())
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__} for the sweep cache; "
+        "use dataclasses, dicts, lists and scalars"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding of a sweep configuration or result.
+
+    Dict keys are sorted, dataclasses become field dicts, tuples become
+    lists.  Two structurally equal configurations always produce the
+    same byte string regardless of construction order.
+    """
+    return json.dumps(
+        _jsonable(obj), sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def code_fingerprint(*objects: Any) -> str:
+    """Hash the source files behind ``objects`` (modules, functions, classes).
+
+    The fingerprint is part of every cache key, so editing any named
+    source file invalidates the affected entries.  Callers should pass
+    the point function plus the modules whose behaviour the point's
+    result depends on.  Objects without a reachable source file
+    contribute their repr (better a too-coarse key than a stale hit).
+    """
+    digest = hashlib.sha256()
+    digest.update(f"schema={CACHE_SCHEMA}".encode())
+    for obj in objects:
+        try:
+            source_file = inspect.getsourcefile(obj)
+        except TypeError:
+            source_file = None
+        if source_file and os.path.exists(source_file):
+            digest.update(Path(source_file).read_bytes())
+        else:
+            digest.update(repr(obj).encode())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed result store rooted at ``directory``.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created on first write.  The ``REPRO_CACHE_DIR``
+        environment variable overrides the default used by benchmarks
+        (``.repro-cache`` under the working tree).
+    fingerprint:
+        Code fingerprint mixed into every key (see
+        :func:`code_fingerprint`).
+    """
+
+    def __init__(self, directory: os.PathLike, fingerprint: str = "") -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key(self, fn_id: str, point: Any, seed_fp: str = "") -> str:
+        """The content address of one sweep point."""
+        payload = "\n".join(
+            (
+                f"schema={CACHE_SCHEMA}",
+                f"fingerprint={self.fingerprint}",
+                f"fn={fn_id}",
+                f"seed={seed_fp}",
+                f"point={canonical_json(point)}",
+            )
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small on dense grids.
+        return self.directory / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; unreadable entries count as misses."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            value = entry["value"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> Any:
+        """Store ``value``; returns the canonicalised value as stored.
+
+        The returned (round-tripped) value is what future hits will
+        yield, so the engine hands it to the caller on the *first* run
+        too — cached and fresh runs see identical types and bits.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        encoded = json.dumps({"key": key, "value": _jsonable(value)})
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return json.loads(encoded)["value"]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when unused)."""
+        total = self.requests
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def entry_count(self) -> int:
+        """Entries currently on disk (walks the cache directory)."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+
+def default_cache_dir() -> Path:
+    """The benchmark suite's cache root (``REPRO_CACHE_DIR`` overrides)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path(".repro-cache")

@@ -1,0 +1,218 @@
+"""The deterministic fan-out engine for simulation sweeps.
+
+:func:`run_sweep` applies a *pure point function* ``fn(point, seed)`` to
+every configuration in a grid, optionally across worker processes, and
+returns results in grid order.  The contract that makes parallelism safe
+here:
+
+1. **Purity** — a point's result depends only on ``(point, seed)``.
+   The function must be picklable (defined at module top level) and must
+   not mutate shared state.
+2. **Positional seeds** — ``seed`` is a ``np.random.SeedSequence``
+   spawned from the root seed by the point's *index*
+   (:mod:`repro.parallel.seeds`), so randomness never depends on worker
+   scheduling.
+3. **Order-preserving collection** — results are returned in the order
+   of ``points`` regardless of completion order.
+
+Together these guarantee serial (``workers=1``) and parallel
+(``workers=N``) runs are **bit-identical** — the property
+``tests/parallel/test_determinism.py`` asserts with exact float
+equality.
+
+Worker count resolution (first match wins): explicit ``workers``
+argument, the ``REPRO_WORKERS`` environment variable, serial.  Platforms
+without the ``fork`` start method fall back to serial execution rather
+than risk re-import divergence under ``spawn``.
+
+With a :class:`~repro.parallel.cache.ResultCache` attached, cached
+points are served from disk and only misses are dispatched to workers.
+Cached values are JSON round-tripped on first computation too, so hit
+and miss paths yield identical types and bits.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.seeds import SeedLike, seed_fingerprint, spawn_seeds
+
+#: Environment variable that sets the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+PointFn = Callable[[Any, np.random.SeedSequence], Any]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The worker count a sweep will use.
+
+    Precedence: explicit argument, then ``REPRO_WORKERS``, then 1
+    (serial).  Values below 1 are rejected — a sweep always runs.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{WORKERS_ENV}={raw!r} is not an integer"
+                ) from exc
+        else:
+            workers = 1
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start-method context, or None where unsupported."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def _call_point(payload: Tuple[PointFn, Any, np.random.SeedSequence]) -> Any:
+    """Worker-side trampoline (top level so it pickles)."""
+    fn, point, seed = payload
+    return fn(point, seed)
+
+
+@dataclass
+class SweepStats:
+    """What one sweep run did (attached to :class:`SweepOutcome`)."""
+
+    points: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    parallel: bool = False
+
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+
+@dataclass
+class SweepOutcome:
+    """Results (in grid order) plus run accounting."""
+
+    values: List[Any] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+
+class SweepEngine:
+    """Reusable sweep runner bound to a worker count and optional cache.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` defers to ``REPRO_WORKERS`` (default 1).
+    cache:
+        A :class:`ResultCache`; ``None`` disables caching.
+    root_seed:
+        Root of the per-point seed tree (see :mod:`repro.parallel.seeds`).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        root_seed: SeedLike = 0,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.root_seed = root_seed
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, fn: PointFn, points: Sequence[Any]) -> SweepOutcome:
+        """Evaluate ``fn`` over ``points``; results in grid order."""
+        points = list(points)
+        seeds = spawn_seeds(self.root_seed, len(points))
+        stats = SweepStats(points=len(points), workers=self.workers)
+        values: List[Any] = [None] * len(points)
+
+        # 1. Serve what the cache already holds; collect the misses.
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(points)
+        if self.cache is not None:
+            fn_id = f"{getattr(fn, '__module__', '?')}:{getattr(fn, '__qualname__', repr(fn))}"
+            for index, point in enumerate(points):
+                key = self.cache.key(
+                    fn_id, point, seed_fingerprint(seeds[index])
+                )
+                keys[index] = key
+                hit, value = self.cache.get(key)
+                if hit:
+                    values[index] = value
+                    stats.cache_hits += 1
+                else:
+                    pending.append(index)
+                    stats.cache_misses += 1
+        else:
+            pending = list(range(len(points)))
+
+        # 2. Compute the misses, fanning out when it can pay off.
+        payloads = [(fn, points[i], seeds[i]) for i in pending]
+        context = _fork_context()
+        use_processes = (
+            self.workers > 1 and len(pending) > 1 and context is not None
+        )
+        if use_processes:
+            max_workers = min(self.workers, len(pending))
+            chunksize = max(1, len(pending) // (max_workers * 4))
+            with ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=context
+            ) as executor:
+                computed = list(
+                    executor.map(_call_point, payloads, chunksize=chunksize)
+                )
+            stats.parallel = True
+        else:
+            computed = [_call_point(payload) for payload in payloads]
+        stats.executed = len(pending)
+
+        # 3. Store fresh results; adopt the canonicalised form so hit
+        #    and miss paths return identical values.
+        for index, value in zip(pending, computed):
+            if self.cache is not None:
+                value = self.cache.put(keys[index], value)
+            values[index] = value
+        return SweepOutcome(values=values, stats=stats)
+
+
+def run_sweep(
+    fn: PointFn,
+    points: Sequence[Any],
+    root_seed: SeedLike = 0,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Any]:
+    """One-shot sweep: :class:`SweepEngine` construction plus ``run``.
+
+    Returns just the values (grid order).  Use the engine directly when
+    cache statistics or run accounting matter.
+    """
+    engine = SweepEngine(workers=workers, cache=cache, root_seed=root_seed)
+    return engine.run(fn, points).values

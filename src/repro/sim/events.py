@@ -11,7 +11,6 @@ for reproducible simulations).
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 
@@ -33,7 +32,10 @@ class Event:
     __slots__ = ("callbacks", "value", "fired", "scheduled", "_name")
 
     def __init__(self, name: str = "") -> None:
-        self.callbacks: List[Callable[["Event"], None]] = []
+        # Lazily allocated: most events in a big run never get a
+        # callback (pure timeouts), so skipping the empty list halves
+        # the allocations on the scheduling hot path.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self.value: Any = None
         self.fired: bool = False
         self.scheduled: bool = False
@@ -51,6 +53,8 @@ class Event:
         """
         if self.fired:
             fn(self)
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
             self.callbacks.append(fn)
 
@@ -58,9 +62,10 @@ class Event:
         if self.fired:
             raise RuntimeError(f"event {self.name} fired twice")
         self.fired = True
-        callbacks, self.callbacks = self.callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "fired" if self.fired else ("scheduled" if self.scheduled else "pending")
@@ -70,14 +75,29 @@ class Event:
 class EventQueue:
     """Stable min-heap of ``(time, seq, event)`` entries.
 
-    The monotonically increasing sequence number guarantees FIFO order
-    among events scheduled for the same simulated time, which keeps runs
-    deterministic regardless of heap internals.
+    **Tie-break contract** (load-bearing; see
+    ``tests/sim/test_events.py::TestTieBreakContract``): events pushed
+    with *equal* times pop in exactly the order they were pushed, for
+    any number of ties and regardless of what is interleaved between
+    them.  The heap entry carries a monotonically increasing sequence
+    number, so comparison never reaches the :class:`Event` itself and
+    FIFO order among ties is independent of heap internals.  The
+    parallel sweep engine (:mod:`repro.parallel`) relies on this: a
+    simulation's execution order — and therefore its result — is a pure
+    function of its schedule order, never of timing noise, which is
+    what makes per-point runs reproducible across worker processes.
+
+    The entry is deliberately lean — a plain 3-tuple of
+    ``(float, int, Event)`` with a plain integer counter (no
+    ``itertools.count`` iterator indirection), since a big serving
+    simulation pushes one of these for every scheduled event.
     """
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -92,7 +112,9 @@ class EventQueue:
         if time != time:  # NaN guard
             raise ValueError("event time is NaN")
         event.scheduled = True
-        heapq.heappush(self._heap, (time, next(self._seq), event))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, event))
 
     def pop(self) -> Tuple[float, Event]:
         """Remove and return the earliest ``(time, event)`` pair."""

@@ -29,6 +29,8 @@ class Simulator:
     5.0
     """
 
+    __slots__ = ("_now", "_queue", "_running")
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()

@@ -91,6 +91,22 @@ class ArrivalProcess:
     def next_gap(self, rng: np.random.Generator) -> float:
         raise NotImplementedError
 
+    def next_gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` gaps at once (bulk trace generation).
+
+        The base implementation loops ``next_gap`` so stateful processes
+        stay correct; memoryless processes override with a single
+        vectorised draw.  Both paths consume the *same* ``rng`` — a
+        process is free to produce a different (still deterministic)
+        stream through the bulk path, so callers should not interleave
+        the two on one generator and expect identical traces.
+        """
+        if count < 0:
+            raise ValueError("gap count must be >= 0")
+        return np.array(
+            [self.next_gap(rng) for _ in range(count)], dtype=np.float64
+        )
+
 
 class PoissonArrivals(ArrivalProcess):
     """Memoryless arrivals at ``rate_per_s``."""
@@ -102,6 +118,12 @@ class PoissonArrivals(ArrivalProcess):
 
     def next_gap(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(1.0 / self.rate_per_s))
+
+    def next_gaps(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Vectorised: one NumPy call for the whole block of arrivals."""
+        if count < 0:
+            raise ValueError("gap count must be >= 0")
+        return rng.exponential(1.0 / self.rate_per_s, size=count)
 
 
 class BurstyArrivals(ArrivalProcess):
@@ -194,12 +216,16 @@ class RequestGenerator:
         self.prefix_keys = list(prefix_keys or [])
         self.prefix_probability = prefix_probability
         self.rng = np.random.default_rng(seed)
+        # Precomputed once: rebuilding these per request dominated the
+        # generator's profile on long traces.  Same draws, same stream.
+        self._sla_classes = list(self.sla_mix.keys())
+        self._sla_probs = np.array(
+            [self.sla_mix[c] for c in self._sla_classes], dtype=np.float64
+        )
 
     def _draw_sla(self) -> SLAClass:
-        classes = list(self.sla_mix.keys())
-        probs = [self.sla_mix[c] for c in classes]
-        index = self.rng.choice(len(classes), p=probs)
-        return classes[int(index)]
+        index = self.rng.choice(len(self._sla_classes), p=self._sla_probs)
+        return self._sla_classes[int(index)]
 
     def generate(
         self, duration_s: Optional[float] = None, count: Optional[int] = None

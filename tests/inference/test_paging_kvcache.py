@@ -182,3 +182,135 @@ class TestKVCacheManager:
         kv = self.make()
         kv.register(1, prompt_tokens=17)
         assert 0 < kv.total_fragmentation_bytes() < kv.page_bytes
+
+
+class _ScanCountingDict(dict):
+    """Counts whole-table iterations; point lookups stay free."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.scans = 0
+
+    def items(self):
+        self.scans += 1
+        return super().items()
+
+    def keys(self):
+        self.scans += 1
+        return super().keys()
+
+    def values(self):
+        self.scans += 1
+        return super().values()
+
+    def __iter__(self):
+        self.scans += 1
+        return super().__iter__()
+
+
+class TestEvictionCost:
+    """Releasing a context must not walk the whole prefix index.
+
+    Regression guard for the old O(n) stale-key scan: every release
+    scanned every prefix key ever registered, so eviction cost grew
+    with table size.  The reverse index makes it O(keys owned by the
+    evicted context)."""
+
+    def make(self, capacity_mb=2048) -> KVCacheManager:
+        return KVCacheManager(
+            LLAMA2_70B,
+            capacity_bytes=capacity_mb * MiB,
+            tokens_per_page=16,
+            enable_prefix_sharing=True,
+        )
+
+    def test_release_never_scans_prefix_index(self):
+        kv = self.make()
+        counting = _ScanCountingDict(kv._prefix_index)
+        kv._prefix_index = counting
+        for context_id in range(64):
+            kv.register(context_id, 16, prefix_key=f"prefix-{context_id}")
+        assert len(counting) == 64
+        for context_id in range(64):
+            kv.release(context_id)
+        assert counting.scans == 0
+        assert len(counting) == 0  # stale keys still removed
+
+    def test_eviction_work_independent_of_table_size(self):
+        """The victim's bookkeeping is identical whether 4 or 256 other
+        prefix keys are live: only its own (single) key is touched."""
+        per_size_ops = []
+        for others in (4, 256):
+            kv = self.make()
+            for context_id in range(others):
+                kv.register(context_id, 16, prefix_key=f"other-{context_id}")
+            kv.register(10_000, 16, prefix_key="victim-key")
+            counting = _ScanCountingDict(kv._prefix_index)
+            kv._prefix_index = counting
+            before = len(counting)
+            kv.release(10_000)
+            per_size_ops.append((counting.scans, before - len(counting)))
+        # No full scans, and exactly one key removed — at both sizes.
+        assert per_size_ops[0] == per_size_ops[1] == (0, 1)
+
+    def test_stale_key_removed_and_reanchored(self):
+        kv = self.make()
+        kv.register(1, 160, prefix_key="shared")
+        kv.release(1)
+        assert "shared" not in kv._prefix_index
+        # A later context re-anchors the key (miss, not a stale hit).
+        hits_before = kv.prefix_hits
+        kv.register(2, 160, prefix_key="shared")
+        assert kv.prefix_hits == hits_before
+        assert kv._prefix_index["shared"] == 2
+
+    def test_takeover_release_keeps_new_anchor(self):
+        """Releasing an old anchor must not drop a key another context
+        has since re-anchored."""
+        kv = self.make()
+        kv.register(1, 160, prefix_key="k")
+        kv.release(1)  # key removed with its anchor
+        kv.register(2, 160, prefix_key="k")  # re-anchored by 2
+        kv.register(3, 160)  # unrelated context
+        kv.release(3)
+        assert kv._prefix_index["k"] == 2
+
+
+class TestAppendBatch:
+    def make(self, capacity_mb=512) -> KVCacheManager:
+        return KVCacheManager(
+            LLAMA2_70B, capacity_bytes=capacity_mb * MiB, tokens_per_page=16
+        )
+
+    def test_matches_per_context_append(self):
+        batched, looped = self.make(), self.make()
+        for kv in (batched, looped):
+            for context_id in (1, 2, 3):
+                kv.register(context_id, prompt_tokens=15 + context_id)
+        for _ in range(40):
+            allocated_batch = batched.append_batch([1, 2, 3])
+            allocated_loop = sum(looped.append(cid, 1) for cid in (1, 2, 3))
+            assert allocated_batch == allocated_loop
+        for context_id in (1, 2, 3):
+            assert (
+                batched.context_tokens(context_id)
+                == looped.context_tokens(context_id)
+            )
+        assert batched.used_bytes() == looped.used_bytes()
+
+    def test_allocates_on_page_boundary(self):
+        kv = self.make()
+        kv.register(1, prompt_tokens=16)  # exactly one full page
+        assert kv.append_batch([1]) == 1  # token 17 needs a new page
+        assert kv.append_batch([1]) == 0  # token 18 rides the fast path
+
+    def test_unknown_context_rejected(self):
+        kv = self.make()
+        with pytest.raises(KeyError):
+            kv.append_batch([99])
+
+    def test_negative_tokens_rejected(self):
+        kv = self.make()
+        kv.register(1, 16)
+        with pytest.raises(ValueError):
+            kv.append_batch([1], tokens=-1)

@@ -308,3 +308,61 @@ class TestRL008DeviceProvenance:
             tmp_path, "dev = Device(max_pulses=16)\n", relpath="repro/core/x.py"
         )
         assert "RL008" not in rule_ids(findings)
+
+
+class TestRL009AdHocParallelism:
+    def test_multiprocessing_import_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "import multiprocessing\n")
+        assert "RL009" in rule_ids(findings)
+
+    def test_multiprocessing_submodule_import_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "import multiprocessing.pool\n")
+        assert "RL009" in rule_ids(findings)
+
+    def test_from_multiprocessing_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "from multiprocessing import Pool\n")
+        assert "RL009" in rule_ids(findings)
+
+    def test_executor_import_flagged(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n",
+        )
+        assert "RL009" in rule_ids(findings)
+
+    def test_executor_call_flagged(self, tmp_path):
+        source = """\
+            import concurrent.futures
+
+            pool = concurrent.futures.ProcessPoolExecutor(4)
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL009" in rule_ids(findings)
+
+    def test_thread_pool_clean(self, tmp_path):
+        # Threads do not fork RNG state; only process fan-out is flagged.
+        source = """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            pool = ThreadPoolExecutor(2)
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL009" not in rule_ids(findings)
+
+    def test_repro_parallel_exempt(self, tmp_path):
+        source = """\
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+        """
+        findings = run_lint(
+            tmp_path, source, relpath="repro/parallel/sweep.py"
+        )
+        assert "RL009" not in rule_ids(findings)
+
+    def test_repro_parallel_init_exempt(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            relpath="repro/parallel/__init__.py",
+        )
+        assert "RL009" not in rule_ids(findings)

@@ -1,0 +1,162 @@
+"""Tests for the content-addressed sweep-result cache."""
+
+import dataclasses
+import importlib.util
+import json
+
+import numpy as np
+import pytest
+
+from repro.parallel.cache import (
+    ResultCache,
+    canonical_json,
+    code_fingerprint,
+    default_cache_dir,
+)
+
+
+@dataclasses.dataclass
+class PointConfig:
+    retention_s: float
+    classes: int
+    label: str = "grid"
+
+
+class TestCanonicalJson:
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_dataclass_normalises_to_fields(self):
+        config = PointConfig(retention_s=3600.0, classes=6)
+        assert canonical_json(config) == canonical_json(
+            {"retention_s": 3600.0, "classes": 6, "label": "grid"}
+        )
+
+    def test_tuple_and_list_equivalent(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_float_repr_roundtrips(self):
+        value = 0.1 + 0.2  # not representable; repr must round-trip
+        assert json.loads(canonical_json(value)) == value  # repro-lint: disable=RL006
+
+    def test_numpy_scalars_unwrap(self):
+        assert canonical_json(np.float64(1.5)) == canonical_json(1.5)
+        assert canonical_json(np.int64(3)) == canonical_json(3)
+
+    def test_sets_rejected(self):
+        with pytest.raises(TypeError, match="sorted list"):
+            canonical_json({1, 2, 3})
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(TypeError, match="canonicalise"):
+            canonical_json(object())
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(TypeError, match="string dict keys"):
+            canonical_json({1: "a"})
+
+
+class TestKeys:
+    def test_key_is_stable(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f1")
+        config = PointConfig(60.0, 3)
+        assert cache.key("m:fn", config, "s0") == cache.key(
+            "m:fn", config, "s0"
+        )
+
+    def test_key_sensitive_to_every_component(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f1")
+        base = cache.key("m:fn", PointConfig(60.0, 3), "s0")
+        assert cache.key("m:other", PointConfig(60.0, 3), "s0") != base
+        assert cache.key("m:fn", PointConfig(61.0, 3), "s0") != base
+        assert cache.key("m:fn", PointConfig(60.0, 3), "s1") != base
+        other_code = ResultCache(tmp_path, fingerprint="f2")
+        assert other_code.key("m:fn", PointConfig(60.0, 3), "s0") != base
+
+
+class TestStorage:
+    def test_roundtrip_exact_floats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("m:fn", {"x": 1}, "s")
+        value = {"energy_j": 0.1 + 0.2, "rows": [[1, "a", 2.5e-301]]}
+        stored = cache.put(key, value)
+        hit, loaded = cache.get(key)
+        assert hit
+        assert loaded == value == stored  # repro-lint: disable=RL006
+
+    def test_miss_then_hit_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("m:fn", {"x": 1}, "s")
+        assert cache.get(key) == (False, None)
+        cache.put(key, 42)
+        assert cache.get(key) == (True, 42)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate() == 0.5
+        cache.reset_stats()
+        assert cache.requests == 0
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("m:fn", {"x": 1}, "s")
+        cache.put(key, {"fine": True})
+        path = cache._path(key)
+        path.write_text("{ truncated")
+        hit, _ = cache.get(key)
+        assert not hit
+        cache.put(key, {"fine": True})  # overwrite repairs it
+        assert cache.get(key) == (True, {"fine": True})
+
+    def test_entry_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.entry_count() == 0
+        for index in range(5):
+            cache.put(cache.key("m:fn", {"i": index}, "s"), index)
+        assert cache.entry_count() == 5
+
+    def test_unserialisable_value_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("m:fn", {"x": 1}, "s")
+        with pytest.raises(TypeError):
+            cache.put(key, object())
+
+
+class TestCodeFingerprint:
+    def _import_from(self, path):
+        spec = importlib.util.spec_from_file_location("fp_probe", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_edit_changes_fingerprint(self, tmp_path):
+        source = tmp_path / "fp_probe.py"
+        source.write_text("def point(cfg, seed):\n    return 1\n")
+        module = self._import_from(source)
+        before = code_fingerprint(module.point)
+        source.write_text("def point(cfg, seed):\n    return 2\n")
+        after = code_fingerprint(module.point)
+        assert before != after
+
+    def test_multiple_sources_compose(self, tmp_path):
+        source = tmp_path / "fp_probe.py"
+        source.write_text("def point(cfg, seed):\n    return 1\n")
+        module = self._import_from(source)
+        assert code_fingerprint(module.point) != code_fingerprint(
+            module.point, json
+        )
+
+    def test_sourceless_objects_fall_back_to_repr(self):
+        assert code_fingerprint("not-a-module") == code_fingerprint(
+            "not-a-module"
+        )
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+
+    def test_default_is_repo_local(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert str(default_cache_dir()) == ".repro-cache"

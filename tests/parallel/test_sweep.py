@@ -1,0 +1,155 @@
+"""Unit tests for the deterministic fan-out engine."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ResultCache,
+    SweepEngine,
+    resolve_workers,
+    run_sweep,
+    seed_fingerprint,
+    spawn_seeds,
+)
+from repro.parallel.sweep import WORKERS_ENV
+
+
+def square_point(point, seed):
+    return {"point": point, "square": point * point}
+
+
+def seeded_point(point, seed):
+    rng = np.random.default_rng(seed)
+    return {"point": point, "draw": float(rng.random())}
+
+
+def failing_point(point, seed):
+    if point == 3:
+        raise RuntimeError("boom at point 3")
+    return point
+
+
+class TestSeeds:
+    def test_spawn_is_reproducible(self):
+        first = spawn_seeds(42, 5)
+        second = spawn_seeds(42, 5)
+        assert [s.entropy for s in first] == [s.entropy for s in second]
+        assert [s.spawn_key for s in first] == [s.spawn_key for s in second]
+
+    def test_children_are_distinct(self):
+        prints = [seed_fingerprint(s) for s in spawn_seeds(0, 64)]
+        assert len(set(prints)) == 64
+
+    def test_root_seed_changes_children(self):
+        a = [seed_fingerprint(s) for s in spawn_seeds(1, 4)]
+        b = [seed_fingerprint(s) for s in spawn_seeds(2, 4)]
+        assert not set(a) & set(b)
+
+    def test_streams_differ_per_point(self):
+        draws = [
+            np.random.default_rng(s).random() for s in spawn_seeds(7, 8)
+        ]
+        assert len(set(draws)) == 8
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert resolve_workers(2) == 2
+
+    def test_env_respected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "6")
+        assert resolve_workers() == 6
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestRunSweep:
+    def test_results_in_grid_order(self):
+        points = [5, 1, 4, 2, 3]
+        values = run_sweep(square_point, points, workers=4)
+        assert [v["point"] for v in values] == points
+
+    def test_empty_grid(self):
+        assert run_sweep(square_point, [], workers=4) == []
+
+    def test_single_point_stays_serial(self):
+        engine = SweepEngine(workers=4)
+        outcome = engine.run(square_point, [9])
+        assert outcome.values == [{"point": 9, "square": 81}]
+        assert not outcome.stats.parallel
+
+    def test_parallel_actually_fans_out(self):
+        engine = SweepEngine(workers=2)
+        outcome = engine.run(square_point, list(range(6)))
+        assert outcome.stats.parallel
+        assert outcome.stats.executed == 6
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError, match="boom at point 3"):
+            run_sweep(failing_point, [1, 2, 3, 4], workers=2)
+        with pytest.raises(RuntimeError, match="boom at point 3"):
+            run_sweep(failing_point, [1, 2, 3, 4], workers=1)
+
+    def test_outcome_sequence_protocol(self):
+        outcome = SweepEngine(workers=1).run(square_point, [1, 2])
+        assert len(outcome) == 2
+        assert outcome[0]["square"] == 1
+        assert [v["point"] for v in outcome] == [1, 2]
+
+
+class TestSweepWithCache:
+    def test_second_run_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(workers=1, cache=cache, root_seed=3)
+        first = engine.run(seeded_point, list(range(10)))
+        assert first.stats.cache_misses == 10
+        second = engine.run(seeded_point, list(range(10)))
+        assert second.stats.cache_hits == 10
+        assert second.stats.executed == 0
+        assert second.stats.cache_hit_rate() == 1.0
+        assert second.values == first.values  # repro-lint: disable=RL006
+
+    def test_grown_grid_only_computes_new_points(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(workers=1, cache=cache, root_seed=3)
+        engine.run(seeded_point, list(range(6)))
+        outcome = engine.run(seeded_point, list(range(8)))
+        # Same spawn positions 0..5 -> same seeds -> served from disk.
+        assert outcome.stats.cache_hits == 6
+        assert outcome.stats.executed == 2
+
+    def test_root_seed_partitions_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepEngine(workers=1, cache=cache, root_seed=1).run(
+            seeded_point, [0]
+        )
+        outcome = SweepEngine(workers=1, cache=cache, root_seed=2).run(
+            seeded_point, [0]
+        )
+        assert outcome.stats.cache_hits == 0
+
+    def test_cached_equals_recomputed(self, tmp_path):
+        """Cache-correctness invariant: a hit must be bit-identical to
+        recomputing the point without any cache."""
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(workers=1, cache=cache, root_seed=11)
+        engine.run(seeded_point, list(range(5)))
+        cached = engine.run(seeded_point, list(range(5))).values
+        fresh = run_sweep(seeded_point, list(range(5)), root_seed=11)
+        assert cached == fresh  # repro-lint: disable=RL006

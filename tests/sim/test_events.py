@@ -87,3 +87,66 @@ class TestEventQueue:
         queue = EventQueue()
         with pytest.raises(ValueError, match="NaN"):
             queue.push(float("nan"), Event())
+
+
+class TestTieBreakContract:
+    """The documented guarantee the parallel sweep engine leans on:
+    equal-time events fire in scheduling order — always, at any scale,
+    and regardless of what is interleaved between the ties.  (See the
+    EventQueue docstring; repro.parallel assumes a simulation's result
+    is a pure function of its schedule order.)"""
+
+    def test_thousands_of_same_timestamp_events_fifo(self):
+        queue = EventQueue()
+        events = [Event(str(i)) for i in range(5000)]
+        for event in events:
+            queue.push(1.0, event)
+        popped = [queue.pop()[1] for _ in range(len(events))]
+        assert popped == events
+
+    def test_ties_fifo_under_interleaved_times(self):
+        """Property-style sweep: push a deterministic pseudo-random mix
+        of timestamps (many duplicated) and check that, within every
+        timestamp, pop order equals push order."""
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        times = rng.integers(0, 8, size=4000).astype(float)
+        queue = EventQueue()
+        pushed_per_time = {}
+        for index, time in enumerate(times):
+            event = Event(f"e{index}")
+            queue.push(float(time), event)
+            pushed_per_time.setdefault(float(time), []).append(event)
+        popped_per_time = {}
+        last_time = float("-inf")
+        while queue:
+            time, event = queue.pop()
+            assert time >= last_time
+            last_time = time
+            popped_per_time.setdefault(time, []).append(event)
+        assert popped_per_time == pushed_per_time
+
+    def test_ties_fifo_when_pushed_between_pops(self):
+        """Later pushes at an already-pending timestamp still order
+        after earlier ones (the sequence number is global, not
+        per-timestamp)."""
+        queue = EventQueue()
+        first, second, third = Event("1"), Event("2"), Event("3")
+        queue.push(2.0, first)
+        queue.push(1.0, Event("opener"))
+        queue.pop()
+        queue.push(2.0, second)
+        queue.push(2.0, third)
+        assert [queue.pop()[1] for _ in range(3)] == [first, second, third]
+
+    def test_kernel_runs_equal_time_callbacks_in_schedule_order(self):
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        fired = []
+        # Schedule in a shuffled-looking order of delays but all equal.
+        for index in range(2000):
+            sim.schedule(5.0, lambda _ev, i=index: fired.append(i))
+        sim.run()
+        assert fired == list(range(2000))
