@@ -24,6 +24,40 @@ from repro.analysis.figures import format_table, render_figure1
 from repro.units import DAY, HOUR, MINUTE, YEAR, seconds_to_human
 
 
+class CLIError(Exception):
+    """A user-input problem: reported as one line, never a traceback."""
+
+
+def _parse_params(pairs: Optional[List[str]]) -> dict:
+    """Parse repeated ``--param key=value`` flags into a dict.
+
+    Values are coerced to the narrowest of bool/int/float, falling back
+    to string.  Malformed entries (no ``=``, empty key) raise
+    :class:`CLIError` so the user sees one clean line, not a traceback.
+    """
+    params: dict = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise CLIError(
+                f"malformed --param {pair!r} (expected key=value)"
+            )
+        value: object
+        lowered = raw.lower()
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        params[key] = value
+    return params
+
+
 def _cmd_fig1(args: argparse.Namespace) -> int:
     from repro.endurance.requirements import check_figure1_shape, figure1_data
 
@@ -216,6 +250,65 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Fault-experiment families the ``faults`` subcommand can run.
+FAULT_EXPERIMENT_FAMILIES = ("controller", "serving")
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.experiment import (
+        controller_grid,
+        run_controller_experiment,
+        run_serving_experiment,
+        serving_grid,
+    )
+
+    if args.family not in FAULT_EXPERIMENT_FAMILIES:
+        raise CLIError(
+            f"unknown fault experiment {args.family!r}; "
+            f"known: {', '.join(FAULT_EXPERIMENT_FAMILIES)}"
+        )
+    overrides = _parse_params(args.param)
+    if args.family == "controller":
+        points = [dict(p, **overrides) for p in controller_grid(args.tiny)]
+        rows = run_controller_experiment(
+            root_seed=args.seed, workers=args.workers, points=points
+        )
+        knob = "rate_multiplier"
+    else:
+        points = [dict(p, **overrides) for p in serving_grid(args.tiny)]
+        rows = run_serving_experiment(
+            root_seed=args.seed, workers=args.workers, points=points
+        )
+        knob = "kv_loss_per_hour"
+    print(f"fault injection — {args.family} (seed {args.seed})")
+    print(
+        format_table(
+            [
+                [
+                    f"{row[knob]:g}",
+                    row["fault_events"],
+                    f"{row['baseline']['availability']:.4f}",
+                    f"{row['mitigated']['availability']:.4f}",
+                    row["timeline_fingerprint"],
+                ]
+                for row in rows
+            ],
+            headers=[knob, "events", "avail (baseline)",
+                     "avail (mitigated)", "timeline"],
+        )
+    )
+    worse = [
+        row
+        for row in rows
+        if row["mitigated"]["availability"]
+        < row["baseline"]["availability"]
+    ]
+    if worse:
+        print(f"\nWARNING: mitigation underperformed at {len(worse)} points")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -266,6 +359,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     claims.set_defaults(func=_cmd_claims)
 
+    faults = sub.add_parser(
+        "faults", help="availability vs fault rate, with/without mitigations"
+    )
+    faults.add_argument("--family", default="controller",
+                        help="experiment family: controller or serving")
+    faults.add_argument("--tiny", action="store_true",
+                        help="smoke-test grid (CI)")
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--workers", type=int, default=None,
+                        help="sweep worker processes (default REPRO_WORKERS)")
+    faults.add_argument("--param", action="append", metavar="KEY=VALUE",
+                        help="override a grid-point field (repeatable)")
+    faults.set_defaults(func=_cmd_faults)
+
     trace = sub.add_parser("trace", help="generate a synthetic trace file")
     trace.add_argument("--out", required=True)
     trace.add_argument("--profile", choices=("conversation", "code"),
@@ -285,9 +392,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Output piped into a pager/head that closed early: not an error.
         try:
             sys.stdout.close()
-        except Exception:
+        except OSError:
             pass
         return 0
+    except (CLIError, KeyError, ValueError) as exc:
+        # User-input problems (unknown profile/experiment, malformed
+        # --param, out-of-range values): one line on stderr, exit 2.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,10 +24,14 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.mrm import MRMDevice
 from repro.core.refresh import LivenessFn, RefreshDecision, RefreshScheduler
 from repro.core.wear import WearLeveler
 from repro.core.zones import Block, BlockState, Zone
+from repro.devices.base import BankFailure
+from repro.ecc.bch import BCHCode, DecodeOutcome
 
 
 @dataclass
@@ -41,6 +45,67 @@ class ControllerStats:
     migrations_requested: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
+    # Fault handling (see repro.faults and read_with_recovery)
+    read_retries: int = 0
+    escalated_refreshes: int = 0
+    data_loss_blocks: int = 0
+    silent_corruptions: int = 0
+    remapped_zones: int = 0
+    blocks_recovered: int = 0
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """How the control plane responds to detected read failures.
+
+    The three mitigation paths Section 4's software control plane can
+    take, each with an explicit cost model:
+
+    - **retry with backoff** — a re-read at exponentially growing delay;
+      recovers transient bursts (the noise source is gone on re-read).
+    - **refresh escalation** — after retries are exhausted, restore the
+      block from its durable upstream copy by rewriting it in place
+      (MRM data "is durable elsewhere or is soft state", Section 4);
+      costs a full block write.
+    - **remap** — a failed bank's zone is retired from allocation so
+      new writes stop landing on dead cells.
+
+    ``enabled=False`` gives the no-mitigation baseline: a detected
+    uncorrectable read is immediately reported as data loss.
+    """
+
+    enabled: bool = True
+    max_read_retries: int = 2
+    retry_backoff_s: float = 100e-6  # first re-read delay; doubles per try
+    refresh_escalation: bool = True
+    remap_on_bank_failure: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_read_retries < 0:
+            raise ValueError("max_read_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+
+
+@dataclass
+class RecoveredRead:
+    """Outcome of :meth:`MRMController.read_with_recovery`."""
+
+    latency_s: float = 0.0
+    energy_j: float = 0.0
+    #: blocks whose data could not be delivered (unrecoverable).
+    lost_blocks: List[Block] = None
+    #: blocks delivered silently wrong (miscorrection) — counted, not
+    #: flagged to the caller, because the decoder cannot know.
+    miscorrected_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lost_blocks is None:
+            self.lost_blocks = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.lost_blocks
 
 
 class MRMController:
@@ -65,12 +130,18 @@ class MRMController:
         wear_policy: str = "least-worn",
         guard_band: float = 0.1,
         retention_affinity: bool = True,
+        ecc_code: Optional[BCHCode] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> None:
         self.device = device
         self.wear = WearLeveler(device, policy=wear_policy)
         self.scheduler = RefreshScheduler(device, guard_band=guard_band)
         self.retention_affinity = retention_affinity
         self.stats = ControllerStats()
+        #: the code the recovery path decodes against (None: reads are
+        #: assumed clean — the pre-fault-framework behaviour).
+        self.ecc_code = ecc_code
+        self.recovery = recovery or RecoveryConfig()
         # retention-class bucket -> zone currently open for that class
         self._open_zones: Dict[int, Zone] = {}
         #: blocks handed to the caller for migration (device too worn)
@@ -103,8 +174,11 @@ class MRMController:
             if not zone.is_full
         }
         open_ids = {z.zone_id for z in self._open_zones.values()}
+        failed = self.device.failed_zones
         for zone in self.device.space.zones:
             if zone.is_empty or zone.zone_id in open_ids:
+                continue
+            if zone.zone_id in failed:  # dead bank: nothing to reclaim
                 continue
             if all(b.state is not BlockState.VALID for b in zone.blocks):
                 self.device.reset_zone(zone.zone_id)
@@ -164,6 +238,120 @@ class MRMController:
             self.stats.bytes_read += block.size_bytes
         self.stats.reads += 1
         return latency, energy
+
+    def read_with_recovery(
+        self,
+        blocks: List[Block],
+        now: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RecoveredRead:
+        """Read a block list through the ECC + recovery pipeline.
+
+        Per block: read, count the raw errors the worst codeword sees
+        (:meth:`_codeword_bit_errors`), decode against
+        :attr:`ecc_code`.  A DETECTED (uncorrectable) outcome
+        walks the mitigation ladder of :class:`RecoveryConfig` —
+        retry-with-backoff, then refresh escalation — before being
+        reported as data loss.  A bank failure loses the block (and
+        remaps the zone when enabled).  ``rng`` feeds only the
+        miscorrection draw; pass the run's seeded generator.
+        """
+        if self.ecc_code is None:
+            latency, energy = self.read(blocks, now)
+            return RecoveredRead(latency_s=latency, energy_j=energy)
+        cfg = self.recovery
+        code = self.ecc_code
+        out = RecoveredRead()
+        for block in blocks:
+            try:
+                result = self.device.read_block(block, now)
+            except BankFailure:
+                self._lose_block(block, out)
+                if cfg.enabled and cfg.remap_on_bank_failure:
+                    self._remap_zone(block.zone_id)
+                continue
+            out.latency_s += result.latency_s
+            out.energy_j += result.energy_j
+            self.stats.bytes_read += block.size_bytes
+            raw = self._codeword_bit_errors(block, now)
+            outcome = code.decode_outcome(raw, rng)
+            if outcome is DecodeOutcome.MISCORRECTED:
+                self.stats.silent_corruptions += 1
+                out.miscorrected_blocks += 1
+                continue
+            if outcome is DecodeOutcome.CORRECTED:
+                continue
+            # DETECTED: uncorrectable — walk the mitigation ladder.
+            if not cfg.enabled:
+                self._lose_block(block, out)
+                continue
+            recovered = False
+            backoff = cfg.retry_backoff_s
+            for _attempt in range(cfg.max_read_retries):
+                self.stats.read_retries += 1
+                # Transient noise is gone on the re-read; decay is not.
+                self.device.clear_transient_errors(block)
+                retry = self.device.read_block(block, now)
+                out.latency_s += backoff + retry.latency_s
+                out.energy_j += retry.energy_j
+                backoff *= 2.0
+                raw = self._codeword_bit_errors(block, now)
+                if code.decode_outcome(raw, rng) is not DecodeOutcome.DETECTED:
+                    recovered = True
+                    break
+            if not recovered and cfg.refresh_escalation:
+                # Restore from the durable upstream copy by rewriting in
+                # place (costs a block write; resets age and deadline).
+                refresh = self.device.refresh_block(block, now)
+                out.latency_s += refresh.latency_s
+                out.energy_j += refresh.energy_j
+                self.stats.escalated_refreshes += 1
+                recovered = True
+            if recovered:
+                self.stats.blocks_recovered += 1
+            else:
+                self._lose_block(block, out)
+        self.stats.reads += 1
+        return out
+
+    def _codeword_bit_errors(self, block: Block, now: float) -> int:
+        """Raw errors the *worst* codeword of the block sees: mean-field
+        retention decay at codeword scale, plus any injected transient
+        burst — bursts are spatially local, so the whole burst lands
+        inside one codeword (the one that decides recoverability)."""
+        code = self.ecc_code
+        decay = int(round(self.device.rber_of(block, now) * code.n))
+        return decay + self.device.injected_bit_errors(block)
+
+    def _lose_block(self, block: Block, out: RecoveredRead) -> None:
+        out.lost_blocks.append(block)
+        self.stats.data_loss_blocks += 1
+        self.scheduler.deregister(block)
+        if block.state is BlockState.VALID:
+            self.device.mark_expired(block)
+
+    def _remap_zone(self, zone_id: int) -> None:
+        """Retire a failed zone from allocation (close it if open)."""
+        self._open_zones = {
+            bucket: zone
+            for bucket, zone in self._open_zones.items()
+            if zone.zone_id != zone_id
+        }
+        self.stats.remapped_zones += 1
+
+    def handle_bank_failure(
+        self, zone_id: int, lost_blocks: List[Block]
+    ) -> None:
+        """React to a bank failure already applied to the device via
+        :meth:`~repro.core.mrm.MRMDevice.fail_bank` (which returns the
+        ``lost_blocks``): deregister the lost data from the refresh
+        scheduler, account the loss, and (when enabled) remap the zone
+        out of allocation so new writes stop landing on dead cells."""
+        for block in lost_blocks:
+            self.scheduler.deregister(block)
+        self.stats.data_loss_blocks += len(lost_blocks)
+        if self.recovery.enabled and self.recovery.remap_on_bank_failure:
+            self._remap_zone(zone_id)
 
     def delete(self, blocks: List[Block]) -> None:
         """Caller declares the data dead; zones reclaim on next tick."""

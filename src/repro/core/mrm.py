@@ -23,7 +23,7 @@ product-vs-potential endurance gap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.errors import RetentionErrorModel
 from repro.core.retention import RetentionModel, RetentionParams
@@ -31,6 +31,8 @@ from repro.core.zones import Block, BlockState, ZonedAddressSpace
 from repro.devices.base import (
     AccessKind,
     AccessResult,
+    BankFailure,
+    DeviceFailure,
     MemoryDevice,
     TechnologyProfile,
 )
@@ -146,6 +148,11 @@ class MRMDevice(MemoryDevice):
         self.blocks_written = 0
         self.blocks_refreshed = 0
         self.blocks_expired = 0
+        # Fault-injection state (see repro.faults): transient extra raw
+        # bit errors per slot, failed banks, whole-device failure.
+        self._injected_errors: Dict[Tuple[int, int], int] = {}
+        self._failed_zones: Set[int] = set()
+        self._failed = False
 
     # ------------------------------------------------------------------
     # Retention handling
@@ -209,6 +216,10 @@ class MRMDevice(MemoryDevice):
         self, zone_id: int, size_bytes: int, retention_s: float, now: float
     ) -> Tuple[Block, AccessResult]:
         """Append one block to ``zone_id`` with a target retention."""
+        if self._failed:
+            raise DeviceFailure(self.name)
+        if zone_id in self._failed_zones:
+            raise BankFailure(self.name, zone_id)
         self._validate_retention(retention_s)
         zone = self.space.zone(zone_id)
         block = zone.append(size_bytes, now, retention_s)
@@ -233,6 +244,10 @@ class MRMDevice(MemoryDevice):
 
     def read_block(self, block: Block, now: float) -> AccessResult:
         """Sequential read of one block."""
+        if self._failed:
+            raise DeviceFailure(self.name)
+        if block.zone_id in self._failed_zones:
+            raise BankFailure(self.name, block.zone_id)
         if block.state is not BlockState.VALID:
             raise RuntimeError(
                 f"read of {block.state.value} block z{block.zone_id}b{block.index}"
@@ -244,16 +259,36 @@ class MRMDevice(MemoryDevice):
         """Raw bit-error rate of the block's data at time ``now``."""
         return self.error_model.rber(block.age(now), block.retention_s)
 
+    def raw_bit_errors(self, block: Block, now: float) -> int:
+        """Raw bit errors a read of ``block`` sees right now: mean-field
+        retention decay (rounded) plus any injected transient burst."""
+        expected = self.error_model.expected_bit_errors(
+            block.age(now), block.retention_s, block.size_bytes
+        )
+        slot = (block.zone_id, block.index)
+        return int(round(expected)) + self._injected_errors.get(slot, 0)
+
+    def injected_bit_errors(self, block: Block) -> int:
+        """The injected (transient-burst) errors alone — the component a
+        re-read clears, as opposed to the age-driven decay."""
+        return self._injected_errors.get((block.zone_id, block.index), 0)
+
     def refresh_block(self, block: Block, now: float) -> AccessResult:
         """Control-plane refresh: rewrite the block in place.
 
         Resets the block's age (and therefore its deadline); costs a full
         block write in energy, latency and wear.
         """
+        if self._failed:
+            raise DeviceFailure(self.name)
+        if block.zone_id in self._failed_zones:
+            raise BankFailure(self.name, block.zone_id)
         if block.state is not BlockState.VALID:
             raise RuntimeError("refresh of non-valid block")
         block.written_at = now
         block.refresh_count += 1
+        # Rewriting the cells clears any injected transient errors too.
+        self._injected_errors.pop((block.zone_id, block.index), None)
         self.blocks_refreshed += 1
         result = self._charge_write(block)
         self.counters.refreshes += 1
@@ -269,7 +304,80 @@ class MRMDevice(MemoryDevice):
 
     def reset_zone(self, zone_id: int) -> List[Block]:
         """Reclaim a zone; all its blocks become free."""
+        if zone_id in self._failed_zones:
+            raise BankFailure(self.name, zone_id)
+        for index in range(self.config.blocks_per_zone):
+            self._injected_errors.pop((zone_id, index), None)
         return self.space.zone(zone_id).reset()
+
+    # ------------------------------------------------------------------
+    # Fault injection (driven by repro.faults; deterministic, no RNG)
+    # ------------------------------------------------------------------
+    @property
+    def is_failed(self) -> bool:
+        """True after :meth:`fail_device` — every access raises."""
+        return self._failed
+
+    @property
+    def failed_zones(self) -> frozenset:
+        """Zone ids lost to bank failures (never reusable)."""
+        return frozenset(self._failed_zones)
+
+    def inject_bit_errors(self, block: Block, bit_errors: int) -> None:
+        """Add a transient raw-bit-error burst to a block's next reads.
+
+        The burst persists until the cells are rewritten
+        (:meth:`refresh_block`) or explicitly cleared
+        (:meth:`clear_transient_errors` — the "re-read succeeds" path,
+        since the noise source was transient).
+        """
+        if bit_errors < 0:
+            raise ValueError("bit error count must be >= 0")
+        if block.state is not BlockState.VALID:
+            raise RuntimeError("cannot inject errors into a non-valid block")
+        slot = (block.zone_id, block.index)
+        self._injected_errors[slot] = (
+            self._injected_errors.get(slot, 0) + bit_errors
+        )
+
+    def clear_transient_errors(self, block: Block) -> int:
+        """Drop a block's injected burst (models a clean re-read);
+        returns how many injected errors were cleared."""
+        return self._injected_errors.pop((block.zone_id, block.index), 0)
+
+    def inject_retention_violation(
+        self, block: Block, now: float, severity: float = 2.0
+    ) -> None:
+        """Age a block past its retention deadline.
+
+        Rewinds ``written_at`` so the block's age becomes ``severity``
+        times its spec retention — its deadline is now in the past and
+        its RBER is above the at-spec threshold, exactly the state a
+        missed refresh or thermal excursion leaves behind.
+        """
+        if severity < 1.0:
+            raise ValueError("severity below 1 is not a violation")
+        if block.state is not BlockState.VALID:
+            raise RuntimeError("cannot age a non-valid block")
+        block.written_at = now - block.retention_s * severity
+
+    def fail_bank(self, zone_id: int) -> List[Block]:
+        """Fail one zone (bank): its valid blocks' data is lost and the
+        zone is permanently unusable.  Returns the lost blocks."""
+        zone = self.space.zone(zone_id)  # validates the id
+        self._failed_zones.add(zone_id)
+        lost = [b for b in zone.blocks if b.state is BlockState.VALID]
+        for block in lost:
+            block.state = BlockState.EXPIRED
+            self.blocks_expired += 1
+        return lost
+
+    def fail_device(self) -> List[Block]:
+        """Fail the whole device; every subsequent access raises
+        :class:`~repro.devices.base.DeviceFailure`.  Returns all blocks
+        whose data was live at the moment of failure."""
+        self._failed = True
+        return list(self.space.valid_blocks())
 
     # ------------------------------------------------------------------
     # Wear inspection (damage-fraction based)

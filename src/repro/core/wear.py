@@ -49,7 +49,11 @@ class WearLeveler:
         Raises ``RuntimeError`` when no empty zone exists (the caller
         must reset an expired zone first).
         """
-        empty = self.device.space.empty_zones()
+        failed = self.device.failed_zones
+        empty = [
+            z for z in self.device.space.empty_zones()
+            if z.zone_id not in failed
+        ]
         if not empty:
             raise RuntimeError("no empty zones available; reset expired zones first")
         if self.policy == "least-worn":

@@ -198,6 +198,87 @@ class EnduranceExceeded(RuntimeError):
         self.endurance = endurance
 
 
+class DeviceFault(RuntimeError):
+    """Base class for injected hardware failures (see :mod:`repro.faults`)."""
+
+
+class BankFailure(DeviceFault):
+    """A bank/zone of cells became unreadable; its data is lost."""
+
+    def __init__(self, device: str, zone_id: int) -> None:
+        super().__init__(f"{device}: zone {zone_id} failed (bank loss)")
+        self.device = device
+        self.zone_id = zone_id
+
+
+class DeviceFailure(DeviceFault):
+    """The whole device dropped off the fabric."""
+
+    def __init__(self, device: str) -> None:
+        super().__init__(f"{device}: device failed")
+        self.device = device
+
+
+@dataclass(frozen=True)
+class FaultRateSpec:
+    """Failure-event rates for one technology (see :mod:`repro.faults`).
+
+    Rates use the units reliability datasheets use: soft events scale
+    with capacity and time (per GiB per hour), hard failures are
+    per-device (per year).  Zero everywhere means "never fails" — the
+    happy-path model every experiment ran on before the fault framework.
+
+    Attributes
+    ----------
+    retention_violations_per_gib_hour:
+        Early-decay events (missed deadline / thermal excursion).
+    bit_error_bursts_per_gib_hour:
+        Transient raw-bit-error spikes on reads.
+    bank_failures_per_device_year:
+        Zone-granularity hard failures.
+    device_failures_per_device_year:
+        Whole-device losses.
+    source:
+        Citation for the numbers (RL008 provenance discipline).
+    """
+
+    retention_violations_per_gib_hour: float = 0.0
+    bit_error_bursts_per_gib_hour: float = 0.0
+    bank_failures_per_device_year: float = 0.0
+    device_failures_per_device_year: float = 0.0
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "retention_violations_per_gib_hour",
+            "bit_error_bursts_per_gib_hour",
+            "bank_failures_per_device_year",
+            "device_failures_per_device_year",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+
+    def scaled(self, multiplier: float) -> "FaultRateSpec":
+        """All rates multiplied by ``multiplier`` (fault-rate sweeps)."""
+        if multiplier < 0:
+            raise ValueError("multiplier must be >= 0")
+        return replace(
+            self,
+            retention_violations_per_gib_hour=(
+                self.retention_violations_per_gib_hour * multiplier
+            ),
+            bit_error_bursts_per_gib_hour=(
+                self.bit_error_bursts_per_gib_hour * multiplier
+            ),
+            bank_failures_per_device_year=(
+                self.bank_failures_per_device_year * multiplier
+            ),
+            device_failures_per_device_year=(
+                self.device_failures_per_device_year * multiplier
+            ),
+        )
+
+
 class MemoryDevice:
     """Behavioural model of one memory device instance.
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.devices.base import CellKind, TechnologyProfile
+from repro.devices.base import CellKind, FaultRateSpec, TechnologyProfile
 from repro.units import (
     KiB,
     MiB,
@@ -308,6 +308,72 @@ STTMRAM_POTENTIAL = _register(
         source="STT-MRAM relaxed-retention designs [43, 48]; read energy [28]",
     )
 )
+
+
+# ---------------------------------------------------------------------------
+# Fault rates (consumed by repro.faults)
+# ---------------------------------------------------------------------------
+# Soft-event rates are anchored to the field-study ballpark for DRAM-class
+# parts (~25-70 correctable FIT/Mbit, i.e. order 1e-3 events/GiB/hour) and
+# scaled by each family's relative error proneness; hard-failure rates are
+# the ~2-4% AFR ballpark reported for deployed DIMMs/SSDs.  Like the
+# profile numbers above, the absolute values are approximate — the fault
+# experiments sweep a rate *multiplier*, so they reproduce shapes (how
+# fast availability degrades, whether mitigations help), not field AFRs.
+_DRAM_FAULTS = FaultRateSpec(
+    retention_violations_per_gib_hour=1e-4,
+    bit_error_bursts_per_gib_hour=2e-3,
+    bank_failures_per_device_year=0.02,
+    device_failures_per_device_year=0.01,
+    source="DRAM field studies: Schroeder et al. SIGMETRICS'09 error rates",
+)
+
+_FLASH_FAULTS = FaultRateSpec(
+    retention_violations_per_gib_hour=5e-4,
+    bit_error_bursts_per_gib_hour=5e-3,
+    bank_failures_per_device_year=0.04,
+    device_failures_per_device_year=0.02,
+    source="SSD field studies: Meza et al. SIGMETRICS'15 failure rates",
+)
+
+_RESISTIVE_FAULTS = FaultRateSpec(
+    retention_violations_per_gib_hour=1e-3,
+    bit_error_bursts_per_gib_hour=5e-3,
+    bank_failures_per_device_year=0.03,
+    device_failures_per_device_year=0.015,
+    source="Resistive-memory drift/RTN literature [25, 34]; rates between "
+    "DRAM and Flash since managed retention trades margin for cost",
+)
+
+#: Per-profile fault rates.  MRM derives from the resistive families, so
+#: every resistive profile (product and potential) shares that spec.
+FAULT_RATES: Dict[str, FaultRateSpec] = {
+    "ddr5": _DRAM_FAULTS,
+    "hbm3e": _DRAM_FAULTS,
+    "lpddr5x": _DRAM_FAULTS,
+    "nand-slc": _FLASH_FAULTS,
+    "nand-tlc": _FLASH_FAULTS,
+    "nor-flash": _FLASH_FAULTS,
+    "pcm-optane": _RESISTIVE_FAULTS,
+    "rram-weebit": _RESISTIVE_FAULTS,
+    "sttmram-everspin": _RESISTIVE_FAULTS,
+    "pcm-potential": _RESISTIVE_FAULTS,
+    "rram-potential": _RESISTIVE_FAULTS,
+    "sttmram-potential": _RESISTIVE_FAULTS,
+}
+
+
+def get_fault_rates(name: str) -> FaultRateSpec:
+    """Fault rates for a catalog profile.
+
+    Raises ``KeyError`` with the list of valid names on a miss — same
+    contract as :func:`get_profile`.
+    """
+    if name not in _PROFILES:
+        raise KeyError(
+            f"unknown technology {name!r}; known: {sorted(_PROFILES)}"
+        )
+    return FAULT_RATES[name]
 
 
 def get_profile(name: str) -> TechnologyProfile:

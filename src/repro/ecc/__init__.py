@@ -18,18 +18,20 @@ operate on larger code words and have less overhead [8]".
 """
 
 from repro.ecc.hamming import DecodeStatus, HammingCodec
-from repro.ecc.bch import BCHCode, design_bch
+from repro.ecc.bch import BCHCode, DecodeOutcome, design_bch
 from repro.ecc.blockcodes import (
     CodePoint,
     overhead_vs_block_size,
     required_correction_capability,
 )
-from repro.ecc.policy import ECCChoice, RetentionAwareECC
+from repro.ecc.policy import DecodeTally, ECCChoice, RetentionAwareECC
 
 __all__ = [
     "BCHCode",
     "CodePoint",
+    "DecodeOutcome",
     "DecodeStatus",
+    "DecodeTally",
     "ECCChoice",
     "HammingCodec",
     "RetentionAwareECC",

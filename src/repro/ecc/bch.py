@@ -16,9 +16,33 @@ numerical stability at tiny probabilities.
 
 from __future__ import annotations
 
+import enum
+import math
 from dataclasses import dataclass
+from typing import Optional
 
+import numpy as np
 from scipy import special
+
+
+class DecodeOutcome(enum.Enum):
+    """What bounded-distance decoding did with a noisy codeword.
+
+    CORRECTED:
+        At most ``t`` raw errors — decoding succeeds silently.
+    DETECTED:
+        More than ``t`` raw errors, and the syndrome landed outside
+        every decoding sphere: the decoder *knows* the word is bad
+        (uncorrectable) and can trigger a re-read / fallback.
+    MISCORRECTED:
+        More than ``t`` raw errors, but the word fell inside the
+        decoding sphere of a *different* codeword: the decoder silently
+        "corrects" to wrong data.  The dangerous case.
+    """
+
+    CORRECTED = "corrected"
+    DETECTED = "detected"
+    MISCORRECTED = "miscorrected"
 
 
 @dataclass(frozen=True)
@@ -81,6 +105,60 @@ class BCHCode:
         block's data bits, with ~t+1 wrong bits per failed block."""
         p_block = self.block_failure_probability(rber)
         return p_block * (self.t + 1) / self.k
+
+    def miscorrection_probability(self) -> float:
+        """P(a >t-error word decodes silently to the *wrong* codeword).
+
+        Standard sphere-packing estimate for bounded-distance decoding:
+        a random syndrome lands inside some decoding sphere with
+        probability ``sum_{i<=t} C(n, i) / 2^(n-k)`` — the fraction of
+        the ``2^(n-k)`` cosets claimed by correctable patterns.
+        Computed in log space (``gammaln``) so large-``n`` codes do not
+        overflow; clamped to 1 (perfect codes use every coset).
+        """
+        if self.t == 0:
+            # A detect-only / no-code configuration never miscorrects in
+            # this model; errors pass through as detected.
+            return 1.0 if self.check_bits == 0 else 0.0
+        log2_spheres = _log2_sphere_volume(self.n, self.t)
+        log2_ratio = log2_spheres - self.check_bits
+        if log2_ratio >= 0.0:
+            return 1.0
+        return float(2.0 ** log2_ratio)
+
+    def decode_outcome(
+        self, raw_errors: int, rng: Optional[np.random.Generator] = None
+    ) -> DecodeOutcome:
+        """Classify one read given its raw bit-error count.
+
+        At or below ``t`` errors decoding succeeds.  Above ``t`` the word
+        is uncorrectable: with probability
+        :meth:`miscorrection_probability` it silently miscorrects,
+        otherwise the decoder reports it.  ``rng=None`` is the
+        deterministic conservative mode: always DETECTED (callers that
+        must not consume randomness, e.g. analytic sweeps).
+        """
+        if raw_errors < 0:
+            raise ValueError("raw error count must be >= 0")
+        if raw_errors <= self.t:
+            return DecodeOutcome.CORRECTED
+        if rng is not None and rng.random() < self.miscorrection_probability():
+            return DecodeOutcome.MISCORRECTED
+        return DecodeOutcome.DETECTED
+
+
+def _log2_sphere_volume(n: int, t: int) -> float:
+    """``log2(sum_{i<=t} C(n, i))`` via log-space accumulation."""
+    log_terms = []
+    for i in range(t + 1):
+        log_terms.append(
+            special.gammaln(n + 1)
+            - special.gammaln(i + 1)
+            - special.gammaln(n - i + 1)
+        )
+    peak = max(log_terms)
+    total = peak + math.log(sum(math.exp(lt - peak) for lt in log_terms))
+    return total / math.log(2.0)
 
 
 def design_bch(

@@ -21,8 +21,49 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.core.errors import RetentionErrorModel
-from repro.ecc.bch import BCHCode, design_bch
+from repro.ecc.bch import BCHCode, DecodeOutcome, design_bch
+
+
+@dataclass
+class DecodeTally:
+    """Running account of decode outcomes (per device or per run).
+
+    The fault experiments report ``detected`` (recoverable via re-read /
+    refresh escalation / DCM fallback) separately from ``miscorrected``
+    (silent corruption — unrecoverable by definition), because the two
+    demand opposite responses from the control plane.
+    """
+
+    corrected: int = 0
+    detected: int = 0
+    miscorrected: int = 0
+
+    def record(self, outcome: DecodeOutcome) -> DecodeOutcome:
+        if outcome is DecodeOutcome.CORRECTED:
+            self.corrected += 1
+        elif outcome is DecodeOutcome.DETECTED:
+            self.detected += 1
+        else:
+            self.miscorrected += 1
+        return outcome
+
+    @property
+    def reads(self) -> int:
+        return self.corrected + self.detected + self.miscorrected
+
+    @property
+    def uncorrectable(self) -> int:
+        """Reads that exceeded the code's correction capability."""
+        return self.detected + self.miscorrected
+
+    @property
+    def silent_corruption_fraction(self) -> float:
+        if self.reads == 0:
+            return 0.0
+        return self.miscorrected / self.reads
 
 
 @dataclass(frozen=True)
@@ -89,6 +130,36 @@ class RetentionAwareECC:
             worst_rber=rber,
             target_block_failure=self.target_block_failure,
         )
+
+    def decode_read(
+        self,
+        code: BCHCode,
+        age_s: float,
+        spec_retention_s: float,
+        size_bytes: int,
+        extra_bit_errors: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        tally: Optional[DecodeTally] = None,
+    ) -> DecodeOutcome:
+        """Classify one block read under this policy's error model.
+
+        Raw errors are the mean-field decay count
+        (:meth:`~repro.core.errors.RetentionErrorModel.expected_bit_errors`,
+        rounded) plus any injected burst (``extra_bit_errors`` — the
+        fault framework's transient spike).  ``rng`` feeds the
+        miscorrection draw; omit it for the deterministic conservative
+        mode (uncorrectable reads always DETECTED).
+        """
+        if extra_bit_errors < 0:
+            raise ValueError("extra bit errors must be >= 0")
+        expected = self.error_model.expected_bit_errors(
+            age_s, spec_retention_s, size_bytes
+        )
+        raw = extra_bit_errors + int(round(expected))
+        outcome = code.decode_outcome(raw, rng)
+        if tally is not None:
+            tally.record(outcome)
+        return outcome
 
     def refresh_deadline_for_code(
         self, code: BCHCode, spec_retention_s: float

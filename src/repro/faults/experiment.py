@@ -1,0 +1,278 @@
+"""The fault experiments: availability / goodput vs fault rate.
+
+Two experiment families, both built as *pure point functions* so they
+run under :func:`repro.parallel.run_sweep` — serial and parallel
+executions are bit-identical, fault timeline included:
+
+- :func:`controller_point` — one MRM device + controller serving a
+  fixed read-mostly working set while device-level faults (retention
+  violations, bit-error bursts, bank/device failures) fire from a
+  seeded schedule.  Measures block-delivery availability and the cost
+  of the mitigation ladder.
+- :func:`serving_point` — a small inference cluster while KV-cache-loss
+  faults strike running requests.  Measures request availability and
+  goodput (throughput net of recomputed tokens).
+
+Each point draws **one** fault schedule and plays it through two arms —
+``baseline`` (mitigations off: detected errors are immediate data loss,
+KV losses immediately fail requests) and ``mitigated`` (the default
+recovery configs) — so the comparison is on the *identical* timeline,
+not merely identically-distributed ones.  The headline claim the
+benchmarks assert: at every positive fault rate, mitigation improves
+availability on the same faults.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.controller import MRMController, RecoveryConfig
+from repro.core.mrm import MRMConfig, MRMDevice
+from repro.core.zones import BlockState
+from repro.ecc.bch import BCHCode
+from repro.faults.events import FaultKind
+from repro.faults.injector import ControllerFaultInjector, spawn_kv_faults
+from repro.faults.rates import rates_for
+from repro.faults.schedule import FaultSchedule, generate_schedule
+from repro.inference.accelerator import H100_80G
+from repro.inference.cluster import Cluster, tensor_parallel_group
+from repro.inference.engine import KVRecoveryConfig
+from repro.parallel.sweep import run_sweep
+from repro.sim import Simulator
+from repro.units import HOUR, MiB
+from repro.workload.model import LLAMA2_13B
+from repro.workload.requests import InferenceRequest
+
+SeedLike = Union[int, np.random.SeedSequence]
+
+#: Catalog profile whose fault rates drive the controller experiment.
+DEFAULT_PROFILE = "rram-potential"
+
+#: Rate multipliers for the device-level sweep.  Base catalog rates are
+#: datasheet-scale (events per GiB-hour on a sub-GiB device), so the
+#: sweep accelerates them to get meaningful counts in a two-hour run.
+CONTROLLER_MULTIPLIERS = (0.0, 1000.0, 4000.0, 16000.0)
+CONTROLLER_MULTIPLIERS_TINY = (0.0, 4000.0)
+
+#: KV-loss events per engine-hour for the serving sweep.
+SERVING_KV_RATES_PER_HOUR = (0.0, 360.0, 1440.0)
+SERVING_KV_RATES_PER_HOUR_TINY = (0.0, 1440.0)
+
+
+def _seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def controller_grid(tiny: bool = False) -> List[Dict[str, Any]]:
+    """One point per fault-rate multiplier for :func:`controller_point`."""
+    multipliers = (
+        CONTROLLER_MULTIPLIERS_TINY if tiny else CONTROLLER_MULTIPLIERS
+    )
+    return [{"rate_multiplier": multiplier} for multiplier in multipliers]
+
+
+def serving_grid(tiny: bool = False) -> List[Dict[str, Any]]:
+    """One point per KV-loss rate for :func:`serving_point`."""
+    rates = (
+        SERVING_KV_RATES_PER_HOUR_TINY if tiny else SERVING_KV_RATES_PER_HOUR
+    )
+    return [{"kv_loss_per_hour": rate} for rate in rates]
+
+
+def _controller_arm(
+    schedule: FaultSchedule,
+    mitigated: bool,
+    decode_seed: np.random.SeedSequence,
+    duration_s: float,
+    step_s: float,
+) -> Dict[str, Any]:
+    """Play one schedule through one controller configuration.
+
+    A 64 MiB device holds a 40-block working set (retention set past
+    the experiment horizon, liveness "still needed"), read in full every
+    ``step_s`` while the fault schedule plays.  Availability counts
+    every demanded block every round: a block lost at t stays
+    undelivered for the rest of the run — data loss has a lasting cost,
+    exactly what graceful degradation buys back.
+    """
+    rng = np.random.default_rng(decode_seed)
+    device = MRMDevice(
+        MRMConfig(
+            capacity_bytes=64 * MiB,
+            block_bytes=1 * MiB,
+            blocks_per_zone=8,
+        )
+    )
+    controller = MRMController(
+        device,
+        ecc_code=BCHCode(n=32768, k=32648, t=8),
+        recovery=RecoveryConfig(enabled=mitigated),
+    )
+    injector = ControllerFaultInjector(controller, schedule)
+
+    retention_s = 2 * duration_s  # outlives the run: no planned expiry
+    working_set = []
+    for _ in range(40):
+        working_set.extend(
+            controller.write(
+                1 * MiB, retention_s, 0.0,
+                liveness=lambda _block, _now: True,
+            )
+        )
+
+    demanded = 0
+    delivered = 0
+    read_latency_s = 0.0
+    read_energy_j = 0.0
+    now = 0.0
+    while now < duration_s:
+        now = min(now + step_s, duration_s)
+        injector.apply_until(now)
+        controller.tick(now)
+        live = [b for b in working_set if b.state is BlockState.VALID]
+        demanded += len(working_set)
+        if live and not device.is_failed:
+            result = controller.read_with_recovery(live, now, rng=rng)
+            delivered += len(live) - len(result.lost_blocks)
+            read_latency_s += result.latency_s
+            read_energy_j += result.energy_j
+
+    stats = controller.stats
+    return {
+        "mitigated": mitigated,
+        "log_fingerprint": injector.log.fingerprint(),
+        "availability": delivered / demanded if demanded else 1.0,
+        "blocks_demanded": demanded,
+        "blocks_delivered": delivered,
+        "data_loss_blocks": stats.data_loss_blocks,
+        "blocks_recovered": stats.blocks_recovered,
+        "read_retries": stats.read_retries,
+        "escalated_refreshes": stats.escalated_refreshes,
+        "silent_corruptions": stats.silent_corruptions,
+        "remapped_zones": stats.remapped_zones,
+        "read_latency_s": read_latency_s,
+        "read_energy_j": read_energy_j,
+    }
+
+
+def controller_point(
+    point: Dict[str, Any], seed: SeedLike
+) -> Dict[str, Any]:
+    """One device-level availability measurement: both arms, one timeline."""
+    rate_multiplier = float(point["rate_multiplier"])
+    duration_s = float(point.get("duration_s", 2 * HOUR))
+    step_s = float(point.get("step_s", 120.0))
+
+    root = _seed_sequence(seed)
+    schedule_seed, baseline_seed, mitigated_seed = root.spawn(3)
+    rates = rates_for(
+        point.get("profile", DEFAULT_PROFILE),
+        capacity_bytes=64 * MiB,
+        rate_multiplier=rate_multiplier,
+    )
+    schedule = generate_schedule(rates, duration_s, schedule_seed)
+    return {
+        "rate_multiplier": rate_multiplier,
+        "fault_events": len(schedule),
+        "timeline_fingerprint": schedule.fingerprint(),
+        "baseline": _controller_arm(
+            schedule, False, baseline_seed, duration_s, step_s
+        ),
+        "mitigated": _controller_arm(
+            schedule, True, mitigated_seed, duration_s, step_s
+        ),
+    }
+
+
+def _serving_arm(
+    schedule: FaultSchedule, mitigated: bool, num_requests: int
+) -> Dict[str, Any]:
+    """Serve the fixed request stream through one fault timeline.
+
+    The request stream is deterministic (fixed arrivals and token
+    counts) so the *only* randomness is the fault timeline — both arms
+    see the identical stream and identical faults.
+    """
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        tensor_parallel_group(H100_80G, 2),
+        LLAMA2_13B,
+        num_engines=2,
+        max_batch_size=8,
+        kv_recovery=KVRecoveryConfig(enabled=mitigated),
+    )
+    _process, log = spawn_kv_faults(sim, cluster.engines, schedule)
+    requests = [
+        InferenceRequest(
+            arrival_time=0.25 * i, prompt_tokens=256, output_tokens=32
+        )
+        for i in range(num_requests)
+    ]
+    report = cluster.run(requests)
+    return {
+        "mitigated": mitigated,
+        "log_fingerprint": log.fingerprint(),
+        "availability": report.availability,
+        "goodput_tokens_per_s": report.goodput_tokens_per_s,
+        "throughput_tokens_per_s": report.throughput_tokens_per_s,
+        "requests_completed": report.requests_completed,
+        "requests_failed": report.requests_failed,
+        "kv_recoveries": report.kv_recoveries,
+        "kv_recompute_tokens": report.kv_recompute_tokens,
+    }
+
+
+def serving_point(point: Dict[str, Any], seed: SeedLike) -> Dict[str, Any]:
+    """One serving-layer availability/goodput measurement: both arms."""
+    kv_loss_per_hour = float(point["kv_loss_per_hour"])
+    horizon_s = float(point.get("horizon_s", 30.0))
+    num_requests = int(point.get("num_requests", 60))
+
+    schedule = generate_schedule(
+        {FaultKind.KV_LOSS: kv_loss_per_hour / HOUR},
+        horizon_s,
+        _seed_sequence(seed),
+        device="cluster",
+    )
+    return {
+        "kv_loss_per_hour": kv_loss_per_hour,
+        "fault_events": len(schedule),
+        "timeline_fingerprint": schedule.fingerprint(),
+        "baseline": _serving_arm(schedule, False, num_requests),
+        "mitigated": _serving_arm(schedule, True, num_requests),
+    }
+
+
+def run_controller_experiment(
+    tiny: bool = False,
+    root_seed: SeedLike = 0,
+    workers: Optional[int] = None,
+    points: Optional[Sequence[Dict[str, Any]]] = None,
+) -> List[Dict[str, Any]]:
+    """Sweep :func:`controller_point` over the availability grid."""
+    return run_sweep(
+        controller_point,
+        points if points is not None else controller_grid(tiny),
+        root_seed=root_seed,
+        workers=workers,
+    )
+
+
+def run_serving_experiment(
+    tiny: bool = False,
+    root_seed: SeedLike = 0,
+    workers: Optional[int] = None,
+    points: Optional[Sequence[Dict[str, Any]]] = None,
+) -> List[Dict[str, Any]]:
+    """Sweep :func:`serving_point` over the KV-loss grid."""
+    return run_sweep(
+        serving_point,
+        points if points is not None else serving_grid(tiny),
+        root_seed=root_seed,
+        workers=workers,
+    )

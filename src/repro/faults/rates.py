@@ -1,0 +1,66 @@
+"""From catalog fault-rate specs to per-kind event rates.
+
+The catalog (:data:`repro.devices.catalog.FAULT_RATES`) speaks datasheet
+units — soft events per GiB per hour, hard failures per device-year.
+The schedule generator wants one number per :class:`FaultKind`: events
+per simulated second for *this* device instance.  :func:`rates_for`
+does that conversion: soft rates scale with the device's capacity, hard
+rates are per-device, and an optional ``kv_loss_per_hour`` adds the
+serving-layer fault stream (KV loss is a system-level event, so it has
+no catalog entry — experiments choose it directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.devices.base import FaultRateSpec
+from repro.devices.catalog import get_fault_rates
+from repro.faults.events import FaultKind
+from repro.units import GiB, HOUR, YEAR
+
+#: Per-kind event rates in events per simulated second.
+KindRates = Dict[FaultKind, float]
+
+
+def rates_for(
+    profile_name: str,
+    capacity_bytes: int,
+    rate_multiplier: float = 1.0,
+    kv_loss_per_hour: float = 0.0,
+    spec: Optional[FaultRateSpec] = None,
+) -> KindRates:
+    """Per-kind event rates (events/s) for one device instance.
+
+    Parameters
+    ----------
+    profile_name:
+        Catalog profile the device derives from (sets the base rates
+        unless ``spec`` overrides them).
+    capacity_bytes:
+        Device capacity; soft-event rates scale linearly with it.
+    rate_multiplier:
+        Sweep knob: all catalog rates scaled by this factor.
+    kv_loss_per_hour:
+        Serving-layer KV-cache-loss rate (per engine-hour); zero when
+        the experiment runs below the serving layer.
+    spec:
+        Explicit rate spec; bypasses the catalog lookup when given.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    if kv_loss_per_hour < 0:
+        raise ValueError("kv_loss_per_hour must be >= 0")
+    spec = (spec or get_fault_rates(profile_name)).scaled(rate_multiplier)
+    gib = capacity_bytes / GiB
+    return {
+        FaultKind.RETENTION_VIOLATION: (
+            spec.retention_violations_per_gib_hour * gib / HOUR
+        ),
+        FaultKind.BIT_ERROR_BURST: (
+            spec.bit_error_bursts_per_gib_hour * gib / HOUR
+        ),
+        FaultKind.BANK_FAILURE: spec.bank_failures_per_device_year / YEAR,
+        FaultKind.DEVICE_FAILURE: spec.device_failures_per_device_year / YEAR,
+        FaultKind.KV_LOSS: kv_loss_per_hour * rate_multiplier / HOUR,
+    }

@@ -1,0 +1,155 @@
+"""Seeded fault-schedule generation.
+
+A :class:`FaultSchedule` is the *entire* randomness of a fault-injected
+run, drawn up front from one ``numpy`` generator and frozen.  That is
+the determinism contract:
+
+1. Per-kind Poisson processes are drawn in the fixed
+   :data:`~repro.faults.events.KIND_ORDER` (never set order), each as a
+   cumulative sum of exponential gaps, from a single
+   ``np.random.Generator`` seeded by the caller's ``SeedSequence``.
+2. The per-kind streams are merged by ``(time, kind order, draw
+   index)`` and numbered with a global ``seq`` — ties at the same
+   instant break the same way on every run.
+3. Each event carries a ``magnitude`` uniform draw frozen at schedule
+   time; handlers never draw fresh randomness, so identical schedules
+   produce identical effects.
+
+Because the schedule is a pure function of ``(rates, duration, seed)``,
+the same seed yields a bit-identical timeline whether the run executes
+serially or as one point of a ``repro.parallel.run_sweep`` fan-out —
+the property ``tests/faults/test_determinism.py`` asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.faults.events import (
+    KIND_ORDER,
+    FaultEvent,
+    FaultKind,
+    timeline_fingerprint,
+)
+from repro.faults.rates import KindRates
+
+SeedLike = Union[int, np.random.SeedSequence]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-ordered fault timeline for one run."""
+
+    events: Tuple[FaultEvent, ...]
+    duration_s: float
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def fingerprint(self) -> str:
+        """Digest for serial-vs-parallel equality checks."""
+        return timeline_fingerprint(self.events)
+
+    def of_kind(self, kind: FaultKind) -> List[FaultEvent]:
+        return [event for event in self.events if event.kind is kind]
+
+
+def generate_schedule(
+    rates: KindRates,
+    duration_s: float,
+    seed: SeedLike,
+    device: str = "mrm",
+) -> FaultSchedule:
+    """Draw the fault timeline for one run.
+
+    Parameters
+    ----------
+    rates:
+        Events per second for each kind (missing kinds mean rate 0).
+    duration_s:
+        Horizon; events beyond it are not generated.
+    seed:
+        Root randomness — an int or a ``SeedSequence`` (e.g. the
+        per-point seed ``run_sweep`` hands a point function).
+    device:
+        Device name stamped on every event.
+    """
+    if duration_s < 0:
+        raise ValueError("duration must be >= 0")
+    if isinstance(seed, np.random.SeedSequence):
+        rng = np.random.default_rng(seed)
+    else:
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+    # (time, kind_index, draw_index, magnitude) tuples, merged after all
+    # kinds are drawn so the draw order never depends on the rates.
+    drawn: List[Tuple[float, int, int, float]] = []
+    for kind_index, kind in enumerate(KIND_ORDER):
+        rate = rates.get(kind, 0.0)
+        if rate < 0:
+            raise ValueError(f"negative rate for {kind.value}")
+        if rate == 0 or duration_s == 0:
+            continue
+        # Expected count + slack; top up in the (vanishingly rare) case
+        # the gap sum falls short of the horizon.
+        times: List[float] = []
+        t = 0.0
+        batch = max(8, int(rate * duration_s * 1.5) + 8)
+        while t < duration_s:
+            gaps = rng.exponential(1.0 / rate, size=batch)
+            for gap in gaps:
+                t += float(gap)
+                if t >= duration_s:
+                    break
+                times.append(t)
+        magnitudes = rng.random(size=len(times))
+        for draw_index, (time_s, magnitude) in enumerate(
+            zip(times, magnitudes)
+        ):
+            drawn.append((time_s, kind_index, draw_index, float(magnitude)))
+    drawn.sort(key=lambda item: (item[0], item[1], item[2]))
+    events = tuple(
+        FaultEvent(
+            time_s=time_s,
+            kind=KIND_ORDER[kind_index],
+            device=device,
+            magnitude=magnitude,
+            seq=seq,
+        )
+        for seq, (time_s, kind_index, _draw, magnitude) in enumerate(drawn)
+    )
+    return FaultSchedule(events=events, duration_s=float(duration_s))
+
+
+def merge_schedules(schedules: Sequence[FaultSchedule]) -> FaultSchedule:
+    """Merge per-device schedules into one timeline (stable re-sequence).
+
+    Events order by ``(time, original device position, original seq)``;
+    the merged events are renumbered with fresh ``seq`` values.
+    """
+    if not schedules:
+        return FaultSchedule(events=(), duration_s=0.0)
+    keyed: List[Tuple[float, int, int, FaultEvent]] = []
+    for position, schedule in enumerate(schedules):
+        for event in schedule.events:
+            keyed.append((event.time_s, position, event.seq, event))
+    keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+    merged = tuple(
+        FaultEvent(
+            time_s=event.time_s,
+            kind=event.kind,
+            device=event.device,
+            magnitude=event.magnitude,
+            seq=seq,
+        )
+        for seq, (_t, _p, _s, event) in enumerate(keyed)
+    )
+    return FaultSchedule(
+        events=merged,
+        duration_s=max(s.duration_s for s in schedules),
+    )

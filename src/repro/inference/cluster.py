@@ -23,7 +23,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.inference.accelerator import AcceleratorConfig, MemoryTierSpec
-from repro.inference.engine import InferenceEngine
+from repro.inference.engine import InferenceEngine, KVRecoveryConfig
 from repro.sim import Simulator
 from repro.workload.model import ModelConfig
 from repro.workload.requests import InferenceRequest, SLAClass
@@ -91,6 +91,29 @@ class ClusterReport:
     #: Per SLA class: fraction of completed requests meeting their SLO
     #: (Section 4: "some use cases have tight latency SLAs").
     sla_attainment: Dict[SLAClass, float] = None
+    #: Requests dropped by KV-loss faults (recovery budget exhausted or
+    #: mitigation disabled) — see repro.faults.
+    requests_failed: int = 0
+    #: Running requests recovered by recompute-from-prefix.
+    kv_recoveries: int = 0
+    #: Tokens of work redone by those recoveries.
+    kv_recompute_tokens: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of finished requests actually served."""
+        finished = self.requests_completed + self.requests_failed
+        if finished == 0:
+            return 1.0
+        return self.requests_completed / finished
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        """Throughput net of recomputed (wasted) tokens."""
+        if self.duration_s <= 0:
+            return 0.0
+        useful = max(0, self.tokens_generated - self.kv_recompute_tokens)
+        return useful / self.duration_s
 
     @property
     def tokens_per_joule(self) -> float:
@@ -112,6 +135,7 @@ class Cluster:
         placement: Optional[Mapping[str, str]] = None,
         max_batch_size: int = 16,
         enable_prefix_sharing: bool = False,
+        kv_recovery: Optional[KVRecoveryConfig] = None,
     ) -> None:
         if num_engines < 1:
             raise ValueError("need at least one engine")
@@ -126,6 +150,7 @@ class Cluster:
                 placement=placement,
                 max_batch_size=max_batch_size,
                 enable_prefix_sharing=enable_prefix_sharing,
+                kv_recovery=kv_recovery,
                 name=f"engine-{i}",
             )
             for i in range(num_engines)
@@ -165,10 +190,12 @@ class Cluster:
         for engine in self.engines:
             engine.drain()
         self.sim.run()
-        incomplete = submitted - sum(
+        finished = sum(
             int(e.metrics.counter("requests_completed").value)
+            + int(e.metrics.counter("requests_failed").value)
             for e in self.engines
         )
+        incomplete = submitted - finished
         if incomplete:
             raise RuntimeError(f"{incomplete} requests never completed")
         return self.report()
@@ -228,6 +255,9 @@ class Cluster:
             access_energy_j=sum(s.access_energy_j for s in summaries),
             board_energy_j=board_energy,
             sla_attainment=sla_attainment,
+            requests_failed=sum(s.requests_failed for s in summaries),
+            kv_recoveries=sum(s.kv_recoveries for s in summaries),
+            kv_recompute_tokens=sum(s.kv_recompute_tokens for s in summaries),
         )
 
     def _sla_attainment(

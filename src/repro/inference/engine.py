@@ -35,6 +35,31 @@ from repro.workload.requests import InferenceRequest
 DEFAULT_PLACEMENT = {"weights": "hbm", "kv": "hbm", "activations": "hbm"}
 
 
+@dataclass(frozen=True)
+class KVRecoveryConfig:
+    """How an engine responds to losing a running request's KV cache.
+
+    KV pages on MRM are soft state: "data stored in MRM either is
+    durable elsewhere or is soft state that can be recomputed" (Section
+    4).  Losing them mid-request is therefore recoverable — the prompt
+    is still known, so the engine can *recompute from the prefix*:
+    re-enqueue the request, re-run prefill, regenerate.  The budget
+    bounds how often one request may be recovered before it is failed
+    (a retry/timeout guard against a request that keeps landing on bad
+    pages).
+
+    ``enabled=False`` is the no-mitigation baseline: any KV loss fails
+    the request outright.
+    """
+
+    enabled: bool = True
+    max_recoveries_per_request: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_recoveries_per_request < 0:
+            raise ValueError("recovery budget must be >= 0")
+
+
 def _accumulate(*pairs) -> Dict[str, float]:
     """Sum (tier, bytes) pairs into a dict — two structures on the same
     tier must add their traffic, not overwrite each other."""
@@ -60,6 +85,10 @@ class EngineMetrics:
     tier_bytes_written: Dict[str, float]
     access_energy_j: float
     busy_time_s: float
+    requests_failed: int = 0
+    kv_losses: int = 0
+    kv_recoveries: int = 0
+    kv_recompute_tokens: int = 0
 
     @property
     def memory_bound_fraction(self) -> float:
@@ -97,6 +126,7 @@ class InferenceEngine:
         max_batch_size: int = 16,
         tokens_per_page: int = 16,
         enable_prefix_sharing: bool = False,
+        kv_recovery: Optional[KVRecoveryConfig] = None,
         name: str = "",
     ) -> None:
         self.sim = sim
@@ -129,6 +159,11 @@ class InferenceEngine:
         self.scheduler = BatchScheduler(self.kv, max_batch_size=max_batch_size)
         self.metrics = MetricRegistry()
         self.completed: List[RunningContext] = []
+        self.kv_recovery = kv_recovery or KVRecoveryConfig()
+        #: requests dropped after exhausting their recovery budget (or
+        #: any KV loss when recovery is disabled).
+        self.failed: List[RunningContext] = []
+        self._kv_recoveries: Dict[int, int] = {}
         self._wakeup = sim.event(name=f"{self.name}-wakeup")
         self._process = sim.spawn(self._serve_loop(), name=self.name)
         self._busy_time = 0.0
@@ -150,6 +185,55 @@ class InferenceEngine:
     def _wake(self) -> None:
         if not self._wakeup.fired and not self._wakeup.scheduled:
             self.sim.trigger(self._wakeup)
+
+    # ------------------------------------------------------------------
+    # Fault handling (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def inject_kv_loss(self, magnitude: float) -> str:
+        """One running request's KV pages are lost.
+
+        The victim is chosen deterministically from ``magnitude`` (a
+        uniform draw frozen at schedule time): running context ids are
+        sorted and ``magnitude`` indexes into them — no fresh RNG, so
+        the same fault timeline always strikes the same requests.
+        When no request is running the fault lands on empty cells and
+        is harmless.
+
+        With recovery enabled and budget left, the request is recomputed
+        from its prefix: KV released, context torn down, the original
+        request re-enqueued (its arrival time — and therefore its
+        latency accounting — unchanged).  Otherwise the request fails.
+
+        Returns what happened: ``"recovered"``, ``"failed"`` or
+        ``"no-target"``.
+        """
+        if not 0.0 <= magnitude < 1.0:
+            raise ValueError("magnitude must be in [0, 1)")
+        victims = sorted(self.scheduler.running)
+        if not victims:
+            return "no-target"
+        context_id = victims[int(magnitude * len(victims))]
+        context = self.scheduler.running[context_id]
+        # Tear down: pages are untrustworthy, the context cannot decode.
+        self.kv.release(context_id)
+        self.scheduler.finish(context_id)
+        self.metrics.counter("kv_losses").add(1)
+        used = self._kv_recoveries.get(context_id, 0)
+        cfg = self.kv_recovery
+        if cfg.enabled and used < cfg.max_recoveries_per_request:
+            self._kv_recoveries[context_id] = used + 1
+            # Recompute from prefix: everything computed so far for this
+            # request (prompt prefill + generated tokens) is redone.
+            self.metrics.counter("kv_recoveries").add(1)
+            self.metrics.counter("kv_recompute_tokens").add(
+                context.context_tokens
+            )
+            self.scheduler.enqueue(context.request)
+            self._wake()
+            return "recovered"
+        self.failed.append(context)
+        self.metrics.counter("requests_failed").add(1)
+        return "failed"
 
     # ------------------------------------------------------------------
     # The loop
@@ -236,6 +320,12 @@ class InferenceEngine:
         self._account_step(traffic, timing)
         yield Timeout(timing.duration_s)
         now = self.sim.now
+        # A KV-loss fault may tear a victim out of the batch while the
+        # iteration's time elapses; its share of the step is wasted work
+        # and it gets no token.
+        batch = [
+            c for c in batch if c.context_id in self.scheduler.running
+        ]
         self.kv.append_batch([c.context_id for c in batch])
         for context in batch:
             context.generated += 1
@@ -306,4 +396,8 @@ class InferenceEngine:
             tier_bytes_written=tier_writes,
             access_energy_j=m.counter("access_energy_j").value,
             busy_time_s=self._busy_time,
+            requests_failed=int(m.counter("requests_failed").value),
+            kv_losses=int(m.counter("kv_losses").value),
+            kv_recoveries=int(m.counter("kv_recoveries").value),
+            kv_recompute_tokens=int(m.counter("kv_recompute_tokens").value),
         )

@@ -20,6 +20,7 @@ from repro.lint.rules.determinism import (
     UnseededRandomRule,
     WallClockRule,
 )
+from repro.lint.rules.exceptions import SwallowedExceptionRule
 from repro.lint.rules.floats import FloatEqualityRule
 from repro.lint.rules.parallelism import AdHocParallelismRule
 from repro.lint.rules.provenance import DeviceProvenanceRule
@@ -37,6 +38,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     SimProcessHygieneRule,  # RL007
     DeviceProvenanceRule,  # RL008
     AdHocParallelismRule,  # RL009
+    SwallowedExceptionRule,  # RL010
 ]
 
 

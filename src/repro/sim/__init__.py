@@ -37,7 +37,15 @@ Example
 
 from repro.sim.events import Event, EventQueue
 from repro.sim.kernel import Simulator
-from repro.sim.process import Acquire, Process, Release, Timeout, Wait
+from repro.sim.process import (
+    Acquire,
+    Interrupted,
+    Process,
+    Release,
+    SimProcessError,
+    Timeout,
+    Wait,
+)
 from repro.sim.resources import Resource
 from repro.sim.stats import (
     Counter,
@@ -53,11 +61,13 @@ __all__ = [
     "Event",
     "EventQueue",
     "Histogram",
+    "Interrupted",
     "MetricRegistry",
     "Process",
     "RateMeter",
     "Release",
     "Resource",
+    "SimProcessError",
     "Simulator",
     "TimeWeightedValue",
     "Timeout",

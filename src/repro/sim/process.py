@@ -147,6 +147,12 @@ class Process:
             self.done.value = exc
             self.done._fire()
             return
+        except Exception as exc:
+            # The generator raised: the process is dead, and the failure
+            # must surface from kernel.run() with simulation context —
+            # not silently strand the process with _alive=True.
+            self._alive = False
+            raise SimProcessError(self, self.sim.now, exc) from exc
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
@@ -185,3 +191,25 @@ class Process:
 
 class Interrupted(Exception):
     """Raised inside a process when :meth:`Process.interrupt` is called."""
+
+
+class SimProcessError(RuntimeError):
+    """A process generator raised mid-event.
+
+    Wraps the original exception with the process name and the simulated
+    time of the failure, so a crash deep inside a long run is
+    attributable without a debugger.  The original exception is chained
+    (``__cause__``) and its message embedded, so ``except``/``match``
+    logic written against the original text keeps working.
+    """
+
+    def __init__(
+        self, process: "Process", now: float, cause: BaseException
+    ) -> None:
+        super().__init__(
+            f"process {process.name!r} failed at t={now:.6g}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.process_name = process.name
+        self.sim_time = now
+        self.original = cause

@@ -11,7 +11,7 @@ the three-way decision of Section 4's retention-aware scheduling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.placement import DataObject
 from repro.tiering.policy import Placement
@@ -67,3 +67,60 @@ def plan_migration(
         plan.energy_j += source.read_energy_j(obj.size_bytes)
         plan.energy_j += destination.write_energy_j(obj.size_bytes)
     return plan
+
+
+def plan_drain(
+    placement: Placement,
+    failing_tier: str,
+    prefer: Optional[Sequence[str]] = None,
+) -> Tuple[MigrationPlan, List[DataObject]]:
+    """Graceful degradation: evacuate everything off a degrading tier.
+
+    When a device reports progressive failure (rising uncorrectable
+    rate, failed banks) the control plane drains it while it can still
+    be read — the tiering analogue of the controller's refresh
+    escalation.  Objects on ``failing_tier`` are packed, largest first
+    (ties by object id, so the plan is deterministic), into the
+    remaining tiers in ``prefer`` order (default: placement tier order),
+    first-fit by free capacity.
+
+    Returns ``(plan, stranded)``: the cost-annotated moves, and the
+    objects that fit nowhere — data that will be lost (or must be
+    recomputed upstream) when the device dies.  The input placement is
+    not mutated; apply the plan by re-assigning its moves.
+    """
+    source = placement._tier_by_name(failing_tier)  # validates the name
+    destinations = [
+        placement._tier_by_name(name)
+        for name in (
+            prefer
+            if prefer is not None
+            else [t.name for t in placement.tiers]
+        )
+        if name != failing_tier
+    ]
+    victims = sorted(
+        placement.objects_on(failing_tier),
+        key=lambda o: (-o.size_bytes, o.object_id),
+    )
+    free = {t.name: placement.free_bytes(t.name) for t in destinations}
+    plan = MigrationPlan()
+    stranded: List[DataObject] = []
+    for obj in victims:
+        placed = False
+        for tier in destinations:
+            if free[tier.name] >= obj.size_bytes:
+                free[tier.name] -= obj.size_bytes
+                plan.moves.append(Move(obj, failing_tier, tier.name))
+                plan.bytes_moved += obj.size_bytes
+                effective_bw = min(
+                    source.read_bandwidth, tier.write_bandwidth
+                )
+                plan.transfer_time_s += obj.size_bytes / effective_bw
+                plan.energy_j += source.read_energy_j(obj.size_bytes)
+                plan.energy_j += tier.write_energy_j(obj.size_bytes)
+                placed = True
+                break
+        if not placed:
+            stranded.append(obj)
+    return plan, stranded

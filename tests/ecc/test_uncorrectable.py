@@ -1,0 +1,152 @@
+"""Tests for the uncorrectable-error decode path.
+
+The fault framework's ECC hook: reads with more raw errors than the
+code's correction capability ``t`` must come back DETECTED (recoverable
+via re-read / refresh escalation) or — with the sphere-packing
+probability — MISCORRECTED (silent corruption), never silently
+CORRECTED.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecc import DecodeOutcome, DecodeTally, RetentionAwareECC
+from repro.ecc.bch import BCHCode
+
+
+def make_code(n=1023, k=913, t=11) -> BCHCode:
+    return BCHCode(n=n, k=k, t=t)
+
+
+class TestDecodeOutcome:
+    def test_at_capability_corrects(self):
+        code = make_code()
+        assert code.decode_outcome(code.t) is DecodeOutcome.CORRECTED
+
+    def test_zero_errors_corrects(self):
+        assert make_code().decode_outcome(0) is DecodeOutcome.CORRECTED
+
+    def test_above_capability_not_corrected(self):
+        code = make_code()
+        rng = np.random.default_rng(0)
+        for raw in (code.t + 1, 2 * code.t, code.n):
+            outcome = code.decode_outcome(raw, rng)
+            assert outcome is not DecodeOutcome.CORRECTED
+
+    def test_no_rng_is_deterministic_detected(self):
+        """The conservative mode: without a generator, uncorrectable
+        reads are always DETECTED — no hidden randomness."""
+        code = make_code()
+        outcomes = {code.decode_outcome(code.t + 1) for _ in range(50)}
+        assert outcomes == {DecodeOutcome.DETECTED}
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_code().decode_outcome(-1)
+
+    def test_miscorrection_rate_matches_probability(self):
+        """Over many seeded draws the MISCORRECTED fraction tracks the
+        sphere-packing estimate."""
+        code = BCHCode(n=63, k=51, t=2)  # prob ~ 0.49: measurable
+        prob = code.miscorrection_probability()
+        assert 0.1 < prob < 1.0
+        rng = np.random.default_rng(42)
+        trials = 4000
+        hits = sum(
+            code.decode_outcome(code.t + 3, rng)
+            is DecodeOutcome.MISCORRECTED
+            for _ in range(trials)
+        )
+        assert hits / trials == pytest.approx(prob, abs=0.05)
+
+
+class TestMiscorrectionProbability:
+    def test_bounded(self):
+        for n, k, t in ((1023, 913, 11), (255, 231, 3), (32768, 32648, 8)):
+            prob = BCHCode(n=n, k=k, t=t).miscorrection_probability()
+            assert 0.0 <= prob <= 1.0
+
+    def test_more_check_bits_less_miscorrection(self):
+        """At fixed (n, t), spending more bits on checks shrinks the
+        fraction of cosets claimed by decoding spheres."""
+        weak = BCHCode(n=1023, k=993, t=3)
+        strong = BCHCode(n=1023, k=933, t=3)
+        assert (
+            strong.miscorrection_probability()
+            < weak.miscorrection_probability()
+        )
+
+    def test_detect_only_code_never_miscorrects(self):
+        assert BCHCode(n=64, k=56, t=0).miscorrection_probability() == 0.0
+
+    def test_no_redundancy_always_miscorrects(self):
+        """k == n stores raw bits: every flipped word is a valid
+        (wrong) word."""
+        assert BCHCode(n=64, k=64, t=0).miscorrection_probability() == 1.0
+
+
+class TestDecodeTally:
+    def test_accounting(self):
+        tally = DecodeTally()
+        tally.record(DecodeOutcome.CORRECTED)
+        tally.record(DecodeOutcome.DETECTED)
+        tally.record(DecodeOutcome.DETECTED)
+        tally.record(DecodeOutcome.MISCORRECTED)
+        assert tally.reads == 4
+        assert tally.corrected == 1
+        assert tally.detected == 2
+        assert tally.miscorrected == 1
+        assert tally.uncorrectable == 3
+        assert tally.silent_corruption_fraction == pytest.approx(0.25)
+
+    def test_empty_tally(self):
+        tally = DecodeTally()
+        assert tally.reads == 0
+        assert tally.silent_corruption_fraction == 0.0
+
+
+class TestPolicyDecodeRead:
+    def test_young_block_corrects(self):
+        policy = RetentionAwareECC()
+        code = make_code()
+        outcome = policy.decode_read(
+            code, age_s=1.0, spec_retention_s=3600.0, size_bytes=code.k // 8
+        )
+        assert outcome is DecodeOutcome.CORRECTED
+
+    def test_burst_makes_detected(self):
+        """An injected burst larger than t on a young block must be
+        flagged, not absorbed."""
+        policy = RetentionAwareECC()
+        code = make_code()
+        tally = DecodeTally()
+        outcome = policy.decode_read(
+            code,
+            age_s=1.0,
+            spec_retention_s=3600.0,
+            size_bytes=code.k // 8,
+            extra_bit_errors=code.t + 5,
+            tally=tally,
+        )
+        assert outcome is DecodeOutcome.DETECTED
+        assert tally.detected == 1
+
+    def test_negative_burst_rejected(self):
+        policy = RetentionAwareECC()
+        with pytest.raises(ValueError):
+            policy.decode_read(
+                make_code(), 1.0, 3600.0, 128, extra_bit_errors=-1
+            )
+
+    def test_decayed_block_uncorrectable(self):
+        """Far past spec retention, mean-field decay alone exceeds t for
+        a large block."""
+        policy = RetentionAwareECC()
+        code = make_code()
+        outcome = policy.decode_read(
+            code,
+            age_s=8 * 3600.0,
+            spec_retention_s=3600.0,
+            size_bytes=1 << 20,
+        )
+        assert outcome is DecodeOutcome.DETECTED

@@ -366,3 +366,95 @@ class TestRL009AdHocParallelism:
             relpath="repro/parallel/__init__.py",
         )
         assert "RL009" not in rule_ids(findings)
+
+
+class TestRL010SwallowedExceptions:
+    SIM_PATH = "repro/sim/custom.py"
+
+    def test_bare_except_flagged_in_sim(self, tmp_path):
+        source = """\
+            try:
+                step()
+            except:
+                recover()
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SIM_PATH)
+        assert "RL010" in rule_ids(findings)
+
+    def test_swallowed_broad_handler_flagged_in_sim(self, tmp_path):
+        source = """\
+            try:
+                step()
+            except Exception:
+                pass
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SIM_PATH)
+        assert "RL010" in rule_ids(findings)
+
+    def test_swallowed_base_exception_in_tuple_flagged(self, tmp_path):
+        source = """\
+            try:
+                step()
+            except (ValueError, BaseException):
+                ...
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SIM_PATH)
+        assert "RL010" in rule_ids(findings)
+
+    def test_handled_broad_exception_clean(self, tmp_path):
+        # Wrap-and-raise (the SimProcessError pattern) is the blessed idiom.
+        source = """\
+            try:
+                step()
+            except Exception as exc:
+                raise WrappedError("context") from exc
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SIM_PATH)
+        assert "RL010" not in rule_ids(findings)
+
+    def test_recorded_broad_exception_clean(self, tmp_path):
+        source = """\
+            try:
+                step()
+            except Exception as exc:
+                failures.append(exc)
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SIM_PATH)
+        assert "RL010" not in rule_ids(findings)
+
+    def test_narrow_swallow_clean(self, tmp_path):
+        # Naming the type documents which failure is safe to ignore.
+        source = """\
+            try:
+                stream.close()
+            except OSError:
+                pass
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SIM_PATH)
+        assert "RL010" not in rule_ids(findings)
+
+    def test_not_flagged_outside_critical_modules(self, tmp_path):
+        source = """\
+            try:
+                step()
+            except:
+                pass
+        """
+        findings = run_lint(
+            tmp_path, source, relpath="repro/docs_helper.py"
+        )
+        assert "RL010" not in rule_ids(findings)
+
+    def test_importing_sim_makes_module_critical(self, tmp_path):
+        source = """\
+            from repro.sim import kernel
+
+            try:
+                step()
+            except Exception:
+                pass
+        """
+        (tmp_path / "repro/sim").mkdir(parents=True)
+        (tmp_path / "repro/sim/kernel.py").write_text("x = 1\n")
+        findings = run_lint(tmp_path, source, relpath="repro/driver.py")
+        assert "RL010" in rule_ids(findings)

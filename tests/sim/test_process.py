@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Simulator, Timeout, Wait
-from repro.sim.process import Interrupted
+from repro.sim.process import Interrupted, SimProcessError
 
 
 class TestTimeout:
@@ -161,4 +161,45 @@ class TestErrors:
 
         sim.spawn(proc())
         with pytest.raises(TypeError, match="unsupported command"):
+            sim.run()
+
+    def test_process_exception_surfaces_with_context(self, sim):
+        """A raising process must fail the run loudly, carrying the
+        process name and sim time — not vanish into the event queue."""
+
+        def bomb():
+            yield Timeout(2.5)
+            raise KeyError("missing block")
+
+        process = sim.spawn(bomb(), name="bomb")
+        with pytest.raises(SimProcessError, match="bomb"):
+            sim.run()
+
+    def test_process_exception_metadata(self, sim):
+        def bomb():
+            yield Timeout(1.25)
+            raise ValueError("boom")
+
+        process = sim.spawn(bomb(), name="kaput")
+        with pytest.raises(SimProcessError) as excinfo:
+            sim.run()
+        error = excinfo.value
+        assert error.process_name == "kaput"
+        assert error.sim_time == 1.25
+        assert isinstance(error.original, ValueError)
+        assert error.__cause__ is error.original
+        assert "t=1.25" in str(error)
+        assert "boom" in str(error)
+        assert not process.alive
+
+    def test_process_error_is_runtime_error(self, sim):
+        """Callers matching on RuntimeError (and on the original
+        message) keep working — SimProcessError only adds context."""
+
+        def bomb():
+            yield Timeout(1.0)
+            raise RuntimeError("cannot ever be admitted")
+
+        sim.spawn(bomb(), name="engine")
+        with pytest.raises(RuntimeError, match="cannot ever be admitted"):
             sim.run()

@@ -25,9 +25,12 @@ class TestCLI:
         assert main(["tradeoff", "--reference", "pcm-optane"]) == 0
         assert "pcm-optane" in capsys.readouterr().out
 
-    def test_tradeoff_unknown_reference(self):
-        with pytest.raises(KeyError):
-            main(["tradeoff", "--reference", "unobtainium"])
+    def test_tradeoff_unknown_reference(self, capsys):
+        assert main(["tradeoff", "--reference", "unobtainium"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "unobtainium" in err
+        assert err.count("\n") == 1  # one line, no traceback
 
     def test_characterize(self, capsys):
         assert main(["characterize", "--requests", "3"]) == 0
@@ -75,3 +78,54 @@ class TestCLI:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestFaultsCommand:
+    def test_controller_tiny(self, capsys):
+        assert main(
+            ["faults", "--tiny",
+             "--param", "duration_s=900", "--param", "step_s=300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "avail (mitigated)" in out
+        assert "rate_multiplier" in out
+
+    def test_serving_tiny(self, capsys):
+        assert main(
+            ["faults", "--family", "serving", "--tiny",
+             "--param", "num_requests=12", "--param", "horizon_s=10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kv_loss_per_hour" in out
+
+    def test_unknown_family_is_one_line_error(self, capsys):
+        assert main(["faults", "--family", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown fault experiment 'quantum'")
+        assert "controller" in err and "serving" in err
+        assert err.count("\n") == 1
+
+    def test_malformed_param_is_one_line_error(self, capsys):
+        assert main(["faults", "--tiny", "--param", "duration"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: malformed --param 'duration'")
+        assert err.count("\n") == 1
+
+    def test_param_type_coercion(self):
+        from repro.cli import _parse_params
+
+        params = _parse_params(
+            ["a=1", "b=2.5", "c=true", "d=False", "e=text"]
+        )
+        assert params == {
+            "a": 1, "b": 2.5, "c": True, "d": False, "e": "text"
+        }
+        assert isinstance(params["a"], int)
+
+    def test_malformed_param_empty_key(self):
+        import pytest as _pytest
+
+        from repro.cli import CLIError, _parse_params
+
+        with _pytest.raises(CLIError):
+            _parse_params(["=3"])
