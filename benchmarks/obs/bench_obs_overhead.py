@@ -1,0 +1,149 @@
+"""Overhead benchmark for the observability layer.
+
+The acceptance criterion for the obs layer is that it is *free when
+off*: a simulation built without a registry (or with the shared
+``NULL_REGISTRY``) must run within 2% of an uninstrumented baseline.
+The kernel makes this cheap by construction — counters are bound once
+at ``Simulator()`` time and the per-event cost is a single
+``is not None`` branch — and this bench pins the property with a
+measurement so a future refactor cannot silently regress it.
+
+Three configurations of the same seeded queueing drain are timed:
+
+- ``baseline``   — ``Simulator()`` with no obs argument at all;
+- ``disabled``   — ``Simulator(obs=NULL_REGISTRY)``, the null-object
+  path every instrumented module takes by default;
+- ``enabled``    — ``Simulator(obs=MetricsRegistry())``, the live
+  counting path (recorded for context, no threshold: counting real
+  events is allowed to cost something).
+
+Measurement strategy, tuned for noisy shared CI hosts: each arm is
+timed with ``time.process_time`` (CPU time — immune to scheduler
+preemption), as the minimum over interleaved rounds with the arm order
+rotated every round (cancels slow drift).  Because host noise is
+bursty at the 100 ms scale, one measurement attempt can still read a
+few percent high; the test therefore retries up to ``ATTEMPTS``
+independent attempts and passes as soon as one meets the threshold.  A
+*real* regression — extra per-event work on the disabled path — shifts
+every attempt and still fails.  Results append to ``BENCH_sim.json``
+(repo root).
+
+Set ``REPRO_PERF_TINY=1`` to shrink the job count for CI smoke runs;
+the tiny run still exercises all three paths and the accounting
+cross-check, but relaxes the 2% threshold (meaningless at millisecond
+scale) to a loose sanity bound.
+"""
+
+import os
+import time
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.sim import Simulator, Timeout
+
+TINY = os.environ.get("REPRO_PERF_TINY") == "1"
+
+#: Events per queueing job: the spawn event plus the timeout completion.
+EVENTS_PER_JOB = 2
+
+#: Interleaved timing rounds per attempt (per-arm min is reported).
+REPEATS = 3 if TINY else 11
+
+#: Independent measurement attempts before declaring a regression.
+ATTEMPTS = 1 if TINY else 4
+
+#: Disabled-path overhead ceiling vs. the uninstrumented baseline.
+MAX_DISABLED_OVERHEAD_PCT = 50.0 if TINY else 2.0
+
+_ARMS = (
+    ("baseline", lambda: None),
+    ("disabled", lambda: NULL_REGISTRY),
+    ("enabled", MetricsRegistry),
+)
+
+
+def _drain(jobs, obs=None):
+    """One deterministic queueing drain through the event kernel.
+
+    Identical work in every configuration: ``jobs`` processes, each a
+    single timeout whose delay is a pure function of its index (no RNG,
+    so the comparison times the kernel, not number generation).
+    """
+    sim = Simulator(obs=obs)
+
+    def job(delay):
+        yield Timeout(delay)
+
+    for i in range(jobs):
+        sim.spawn(job(1.0 + (i % 97) / 97.0))
+    sim.run()
+    return sim
+
+
+def _time_once(jobs, obs):
+    start = time.process_time()
+    _drain(jobs, obs=obs)
+    return time.process_time() - start
+
+
+def _measure(jobs):
+    """One attempt: per-arm best CPU time over interleaved rounds."""
+    for _name, make in _ARMS:  # warm-up outside the measured window
+        _drain(jobs // 4, make())
+    times = {name: [] for name, _make in _ARMS}
+    for round_no in range(REPEATS):
+        order = _ARMS[round_no % 3:] + _ARMS[:round_no % 3]
+        for name, make in order:
+            times[name].append(_time_once(jobs, make()))
+    return {name: min(samples) for name, samples in times.items()}
+
+
+def test_disabled_registry_overhead(bench_record, report):
+    jobs = 2_000 if TINY else 20_000
+    attempts = 0
+    for _ in range(ATTEMPTS):
+        attempts += 1
+        best = _measure(jobs)
+        overhead_pct = 100.0 * (best["disabled"] / best["baseline"] - 1.0)
+        if overhead_pct < MAX_DISABLED_OVERHEAD_PCT:
+            break
+    enabled_pct = 100.0 * (best["enabled"] / best["baseline"] - 1.0)
+    rates = {
+        name: EVENTS_PER_JOB * jobs / elapsed
+        for name, elapsed in best.items()
+    }
+
+    bench_record["obs_overhead"] = {
+        "jobs": jobs,
+        "repeats": REPEATS,
+        "attempts": attempts,
+        "baseline_events_per_sec": rates["baseline"],
+        "disabled_events_per_sec": rates["disabled"],
+        "enabled_events_per_sec": rates["enabled"],
+        "disabled_overhead_pct": overhead_pct,
+        "enabled_overhead_pct": enabled_pct,
+    }
+    report(
+        "OBS — registry overhead on the event kernel",
+        f"{jobs} jobs ({EVENTS_PER_JOB * jobs} events),"
+        f" min of {REPEATS}, attempt {attempts}/{ATTEMPTS}:\n"
+        f"  baseline {rates['baseline']:,.0f} events/s\n"
+        f"  disabled {rates['disabled']:,.0f} events/s"
+        f" ({overhead_pct:+.2f}%)\n"
+        f"  enabled  {rates['enabled']:,.0f} events/s"
+        f" ({enabled_pct:+.2f}%)",
+    )
+    assert overhead_pct < MAX_DISABLED_OVERHEAD_PCT, (
+        f"disabled-registry overhead {overhead_pct:.2f}% exceeds"
+        f" {MAX_DISABLED_OVERHEAD_PCT:.0f}% in every one of"
+        f" {ATTEMPTS} attempts"
+    )
+
+
+def test_enabled_registry_counts_every_event(bench_record):
+    """Accounting cross-check: the timed 'enabled' arm counts exactly."""
+    jobs = 500 if TINY else 2_000
+    reg = MetricsRegistry()
+    _drain(jobs, obs=reg)
+    counters = reg.snapshot()["counters"]
+    assert counters["sim.processes_spawned_total"] == float(jobs)
+    assert counters["sim.events_total"] == float(EVENTS_PER_JOB * jobs)

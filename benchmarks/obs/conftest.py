@@ -1,0 +1,47 @@
+"""Observability-suite configuration: append runs to ``BENCH_sim.json``.
+
+Same trajectory file and schema as the perf suite (``benchmarks/perf``):
+each invocation appends one run entry so successive runs track the
+observability overhead numbers over time.  CI uploads the file as an
+artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_sim.json"
+
+
+def _load_doc():
+    if BENCH_PATH.exists():
+        try:
+            doc = json.loads(BENCH_PATH.read_text())
+            if isinstance(doc, dict) and doc.get("schema") == 1:
+                doc.setdefault("runs", [])
+                return doc
+        except (ValueError, OSError):
+            pass
+    return {"schema": 1, "runs": []}
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Mutable dict the obs benches fill in; flushed at session end."""
+    run = {
+        "suite": "obs",
+        "timestamp": time.time(),
+        "tiny": os.environ.get("REPRO_PERF_TINY") == "1",
+    }
+    yield run
+    # Only persist if at least one test contributed a measurement.
+    if len(run) <= 3:
+        return
+    doc = _load_doc()
+    doc["runs"].append(run)
+    BENCH_PATH.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )

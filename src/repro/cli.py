@@ -9,9 +9,16 @@ Usage::
     python -m repro serve --rate 1.5     # simulate cluster serving
     python -m repro sensitivity          # Figure 1 robustness sweep
     python -m repro trace --out t.jsonl  # generate a Splitwise-shaped trace
+    python -m repro obs top m.json       # inspect a metrics snapshot
 
 Every subcommand prints the same tables the benchmark harness asserts
 on, so the CLI is the interactive twin of ``pytest benchmarks/``.
+
+The simulation-backed experiments (``serve``, ``faults``) accept
+``--metrics PATH`` (dump the run's metrics snapshot: Prometheus text
+when PATH ends in ``.prom``/``.txt``, canonical snapshot JSON
+otherwise) and ``serve`` additionally ``--trace-out PATH`` (JSON-lines
+span trace in simulated time).  ``repro obs`` inspects those artifacts.
 """
 
 from __future__ import annotations
@@ -56,6 +63,31 @@ def _parse_params(pairs: Optional[List[str]]) -> dict:
                     value = raw
         params[key] = value
     return params
+
+
+def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the run's metrics (Prometheus text for .prom/.txt, "
+             "canonical snapshot JSON otherwise)",
+    )
+
+
+def _write_metrics(path: str, obs_or_snapshot) -> None:
+    """Dump metrics in the format the output path asks for."""
+    from repro.obs.export import write_prometheus
+    from repro.obs.snapshot import normalize_snapshot, write_snapshot
+
+    if path.endswith((".prom", ".txt")):
+        write_prometheus(path, obs_or_snapshot)
+    else:
+        snap = (
+            obs_or_snapshot
+            if isinstance(obs_or_snapshot, dict)
+            else obs_or_snapshot.snapshot()
+        )
+        write_snapshot(path, normalize_snapshot(snap))
+    print(f"metrics written to {path}")
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
@@ -146,18 +178,22 @@ def _cmd_provisioning(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.inference.accelerator import H100_80G
     from repro.inference.cluster import Cluster, tensor_parallel_group
+    from repro.obs import MetricsRegistry, Tracer
     from repro.sim import Simulator
     from repro.workload.model import LLAMA2_70B
     from repro.workload.requests import PoissonArrivals
     from repro.workload.traces import generate_trace, replay_trace
 
-    sim = Simulator()
+    obs = MetricsRegistry() if args.metrics else None
+    tracer = Tracer() if args.trace_out else None
+    sim = Simulator(obs=obs, tracer=tracer)
     cluster = Cluster(
         sim,
         tensor_parallel_group(H100_80G, args.tp),
         LLAMA2_70B,
         num_engines=args.engines,
         max_batch_size=args.batch,
+        obs=obs,
     )
     trace = generate_trace(
         LLAMA2_70B,
@@ -180,6 +216,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             headers=["metric", "value"],
         )
     )
+    if obs is not None:
+        obs.info("run.command").set("serve")
+        obs.info("run.seed").set(str(args.seed))
+        _write_metrics(args.metrics, obs)
+    if tracer is not None:
+        from repro.obs.export import write_trace_jsonl
+
+        write_trace_jsonl(
+            args.trace_out, tracer,
+            meta={"command": "serve", "seed": args.seed},
+        )
+        print(f"trace written to {args.trace_out}")
     return 0
 
 
@@ -267,7 +315,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"unknown fault experiment {args.family!r}; "
             f"known: {', '.join(FAULT_EXPERIMENT_FAMILIES)}"
         )
+    if args.workers is not None and args.workers < 1:
+        raise CLIError(f"--workers must be >= 1 (got {args.workers})")
     overrides = _parse_params(args.param)
+    if args.metrics:
+        # Each point observes itself; snapshots merge after the sweep.
+        overrides = dict(overrides, observe=True)
     if args.family == "controller":
         points = [dict(p, **overrides) for p in controller_grid(args.tiny)]
         rows = run_controller_experiment(
@@ -297,6 +350,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                      "avail (mitigated)", "timeline"],
         )
     )
+    if args.metrics:
+        from repro.parallel import merge_sweep_snapshots
+
+        _write_metrics(args.metrics, merge_sweep_snapshots(rows))
     worse = [
         row
         for row in rows
@@ -307,6 +364,21 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(f"\nWARNING: mitigation underperformed at {len(worse)} points")
         return 1
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.inspect import render_diff, render_span_tree, render_top
+
+    if args.obs_command == "top":
+        print(render_top(args.snapshot, limit=args.limit,
+                         section=args.section))
+        return 0
+    if args.obs_command == "spans":
+        print(render_span_tree(args.trace, limit=args.limit))
+        return 0
+    text, count = render_diff(args.snapshot_a, args.snapshot_b)
+    print(text)
+    return 1 if count else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -347,6 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tensor-parallel group size")
     serve.add_argument("--batch", type=int, default=16)
     serve.add_argument("--seed", type=int, default=0)
+    _add_metrics_flag(serve)
+    serve.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a JSON-lines span trace (simulated-time spans)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     sensitivity = sub.add_parser(
@@ -371,7 +448,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sweep worker processes (default REPRO_WORKERS)")
     faults.add_argument("--param", action="append", metavar="KEY=VALUE",
                         help="override a grid-point field (repeatable)")
+    _add_metrics_flag(faults)
     faults.set_defaults(func=_cmd_faults)
+
+    obs = sub.add_parser(
+        "obs", help="inspect metrics snapshots and span traces"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_top = obs_sub.add_parser(
+        "top", help="largest entries of one snapshot section"
+    )
+    obs_top.add_argument("snapshot", help="snapshot JSON path")
+    obs_top.add_argument("--limit", type=int, default=20)
+    obs_top.add_argument("--section", choices=("counters", "gauges"),
+                         default="counters")
+    obs_top.set_defaults(func=_cmd_obs)
+    obs_spans = obs_sub.add_parser(
+        "spans", help="span tree of a JSON-lines trace"
+    )
+    obs_spans.add_argument("trace", help="trace JSONL path")
+    obs_spans.add_argument("--limit", type=int, default=None)
+    obs_spans.set_defaults(func=_cmd_obs)
+    obs_diff = obs_sub.add_parser(
+        "diff", help="diff two snapshots (exit 1 when they differ)"
+    )
+    obs_diff.add_argument("snapshot_a")
+    obs_diff.add_argument("snapshot_b")
+    obs_diff.set_defaults(func=_cmd_obs)
 
     trace = sub.add_parser("trace", help="generate a synthetic trace file")
     trace.add_argument("--out", required=True)
@@ -400,6 +503,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # --param, out-of-range values): one line on stderr, exit 2.
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Unreadable/unwritable artifact paths (obs inspector inputs,
+        # --metrics/--trace-out destinations): same one-line contract.
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
 

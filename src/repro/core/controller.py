@@ -32,6 +32,7 @@ from repro.core.wear import WearLeveler
 from repro.core.zones import Block, BlockState, Zone
 from repro.devices.base import BankFailure
 from repro.ecc.bch import BCHCode, DecodeOutcome
+from repro.obs import NULL_REGISTRY
 
 
 @dataclass
@@ -132,12 +133,33 @@ class MRMController:
         retention_affinity: bool = True,
         ecc_code: Optional[BCHCode] = None,
         recovery: Optional[RecoveryConfig] = None,
+        obs=None,
     ) -> None:
         self.device = device
         self.wear = WearLeveler(device, policy=wear_policy)
         self.scheduler = RefreshScheduler(device, guard_band=guard_band)
         self.retention_affinity = retention_affinity
         self.stats = ControllerStats()
+        #: observability registry; ControllerStats stays authoritative,
+        #: the registry mirrors it per event for snapshots/exports.
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        o = self.obs
+        self._obs_writes = o.counter("ctrl.writes_total")
+        self._obs_reads = o.counter("ctrl.reads_total")
+        self._obs_deletes = o.counter("ctrl.deletes_total")
+        self._obs_bytes_written = o.counter("ctrl.bytes_written_total")
+        self._obs_bytes_read = o.counter("ctrl.bytes_read_total")
+        self._obs_read_retries = o.counter("ctrl.read_retries_total")
+        self._obs_escalations = o.counter("ctrl.refresh_escalations_total")
+        self._obs_data_loss = o.counter("ctrl.data_loss_blocks_total")
+        self._obs_miscorrections = o.counter("ctrl.silent_corruptions_total")
+        self._obs_remaps = o.counter("ctrl.zones_remapped_total")
+        self._obs_recovered = o.counter("ctrl.blocks_recovered_total")
+        self._obs_reclaimed = o.counter("ctrl.zones_reclaimed_total")
+        self._obs_migrations = o.counter("ctrl.migrations_requested_total")
+        self._obs_refreshes = o.counter("ctrl.refreshes_total")
+        self._obs_expiries = o.counter("ctrl.expiries_total")
+        self._obs_read_latency = o.histogram("ctrl.read_latency_s")
         #: the code the recovery path decodes against (None: reads are
         #: assumed clean — the pre-fault-framework behaviour).
         self.ecc_code = ecc_code
@@ -184,6 +206,7 @@ class MRMController:
                 self.device.reset_zone(zone.zone_id)
                 reclaimed += 1
         self.stats.zones_reclaimed += reclaimed
+        self._obs_reclaimed.add(reclaimed)
         return reclaimed
 
     # ------------------------------------------------------------------
@@ -220,6 +243,8 @@ class MRMController:
             remaining -= chunk
         self.stats.writes += 1
         self.stats.bytes_written += size_bytes
+        self._obs_writes.add()
+        self._obs_bytes_written.add(size_bytes)
         return blocks
 
     def read(self, blocks: List[Block], now: float) -> Tuple[float, float]:
@@ -236,7 +261,10 @@ class MRMController:
             latency += result.latency_s
             energy += result.energy_j
             self.stats.bytes_read += block.size_bytes
+            self._obs_bytes_read.add(block.size_bytes)
         self.stats.reads += 1
+        self._obs_reads.add()
+        self._obs_read_latency.observe(latency)
         return latency, energy
 
     def read_with_recovery(
@@ -273,10 +301,12 @@ class MRMController:
             out.latency_s += result.latency_s
             out.energy_j += result.energy_j
             self.stats.bytes_read += block.size_bytes
+            self._obs_bytes_read.add(block.size_bytes)
             raw = self._codeword_bit_errors(block, now)
             outcome = code.decode_outcome(raw, rng)
             if outcome is DecodeOutcome.MISCORRECTED:
                 self.stats.silent_corruptions += 1
+                self._obs_miscorrections.add()
                 out.miscorrected_blocks += 1
                 continue
             if outcome is DecodeOutcome.CORRECTED:
@@ -289,6 +319,7 @@ class MRMController:
             backoff = cfg.retry_backoff_s
             for _attempt in range(cfg.max_read_retries):
                 self.stats.read_retries += 1
+                self._obs_read_retries.add()
                 # Transient noise is gone on the re-read; decay is not.
                 self.device.clear_transient_errors(block)
                 retry = self.device.read_block(block, now)
@@ -306,12 +337,16 @@ class MRMController:
                 out.latency_s += refresh.latency_s
                 out.energy_j += refresh.energy_j
                 self.stats.escalated_refreshes += 1
+                self._obs_escalations.add()
                 recovered = True
             if recovered:
                 self.stats.blocks_recovered += 1
+                self._obs_recovered.add()
             else:
                 self._lose_block(block, out)
         self.stats.reads += 1
+        self._obs_reads.add()
+        self._obs_read_latency.observe(out.latency_s)
         return out
 
     def _codeword_bit_errors(self, block: Block, now: float) -> int:
@@ -326,6 +361,7 @@ class MRMController:
     def _lose_block(self, block: Block, out: RecoveredRead) -> None:
         out.lost_blocks.append(block)
         self.stats.data_loss_blocks += 1
+        self._obs_data_loss.add()
         self.scheduler.deregister(block)
         if block.state is BlockState.VALID:
             self.device.mark_expired(block)
@@ -338,6 +374,7 @@ class MRMController:
             if zone.zone_id != zone_id
         }
         self.stats.remapped_zones += 1
+        self._obs_remaps.add()
 
     def handle_bank_failure(
         self, zone_id: int, lost_blocks: List[Block]
@@ -350,6 +387,7 @@ class MRMController:
         for block in lost_blocks:
             self.scheduler.deregister(block)
         self.stats.data_loss_blocks += len(lost_blocks)
+        self._obs_data_loss.add(len(lost_blocks))
         if self.recovery.enabled and self.recovery.remap_on_bank_failure:
             self._remap_zone(zone_id)
 
@@ -359,6 +397,7 @@ class MRMController:
             self.scheduler.deregister(block)
             self.device.mark_expired(block)
         self.stats.deletes += 1
+        self._obs_deletes.add()
 
     # ------------------------------------------------------------------
     # Control plane clock
@@ -373,12 +412,17 @@ class MRMController:
         migrate = [b for b, d in decisions if d is RefreshDecision.MIGRATE]
         self.migration_queue.extend(migrate)
         self.stats.migrations_requested += len(migrate)
+        self._obs_migrations.add(len(migrate))
         reclaimed = self._reclaim_dead_zones()
+        refreshed = sum(
+            1 for _b, d in decisions if d is RefreshDecision.REFRESH
+        )
+        expired = sum(1 for _b, d in decisions if d is RefreshDecision.EXPIRE)
+        self._obs_refreshes.add(refreshed)
+        self._obs_expiries.add(expired)
         return {
-            "refreshed": sum(
-                1 for _b, d in decisions if d is RefreshDecision.REFRESH
-            ),
-            "expired": sum(1 for _b, d in decisions if d is RefreshDecision.EXPIRE),
+            "refreshed": refreshed,
+            "expired": expired,
             "migrated": len(migrate),
             "zones_reclaimed": reclaimed,
         }

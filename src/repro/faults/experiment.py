@@ -39,6 +39,7 @@ from repro.faults.schedule import FaultSchedule, generate_schedule
 from repro.inference.accelerator import H100_80G
 from repro.inference.cluster import Cluster, tensor_parallel_group
 from repro.inference.engine import KVRecoveryConfig
+from repro.obs import MetricsRegistry
 from repro.parallel.sweep import run_sweep
 from repro.sim import Simulator
 from repro.units import HOUR, MiB
@@ -89,6 +90,7 @@ def _controller_arm(
     decode_seed: np.random.SeedSequence,
     duration_s: float,
     step_s: float,
+    observe: bool = False,
 ) -> Dict[str, Any]:
     """Play one schedule through one controller configuration.
 
@@ -100,6 +102,9 @@ def _controller_arm(
     exactly what graceful degradation buys back.
     """
     rng = np.random.default_rng(decode_seed)
+    # Per-arm registry (when observing): a pure function of the arm's
+    # inputs, so sweep snapshots stay serial-vs-parallel identical.
+    obs = MetricsRegistry() if observe else None
     device = MRMDevice(
         MRMConfig(
             capacity_bytes=64 * MiB,
@@ -111,8 +116,9 @@ def _controller_arm(
         device,
         ecc_code=BCHCode(n=32768, k=32648, t=8),
         recovery=RecoveryConfig(enabled=mitigated),
+        obs=obs,
     )
-    injector = ControllerFaultInjector(controller, schedule)
+    injector = ControllerFaultInjector(controller, schedule, obs=obs)
 
     retention_s = 2 * duration_s  # outlives the run: no planned expiry
     working_set = []
@@ -142,7 +148,7 @@ def _controller_arm(
             read_energy_j += result.energy_j
 
     stats = controller.stats
-    return {
+    result = {
         "mitigated": mitigated,
         "log_fingerprint": injector.log.fingerprint(),
         "availability": delivered / demanded if demanded else 1.0,
@@ -157,6 +163,9 @@ def _controller_arm(
         "read_latency_s": read_latency_s,
         "read_energy_j": read_energy_j,
     }
+    if obs is not None:
+        result["obs"] = obs.snapshot()
+    return result
 
 
 def controller_point(
@@ -166,6 +175,7 @@ def controller_point(
     rate_multiplier = float(point["rate_multiplier"])
     duration_s = float(point.get("duration_s", 2 * HOUR))
     step_s = float(point.get("step_s", 120.0))
+    observe = bool(point.get("observe", False))
 
     root = _seed_sequence(seed)
     schedule_seed, baseline_seed, mitigated_seed = root.spawn(3)
@@ -180,16 +190,19 @@ def controller_point(
         "fault_events": len(schedule),
         "timeline_fingerprint": schedule.fingerprint(),
         "baseline": _controller_arm(
-            schedule, False, baseline_seed, duration_s, step_s
+            schedule, False, baseline_seed, duration_s, step_s, observe
         ),
         "mitigated": _controller_arm(
-            schedule, True, mitigated_seed, duration_s, step_s
+            schedule, True, mitigated_seed, duration_s, step_s, observe
         ),
     }
 
 
 def _serving_arm(
-    schedule: FaultSchedule, mitigated: bool, num_requests: int
+    schedule: FaultSchedule,
+    mitigated: bool,
+    num_requests: int,
+    observe: bool = False,
 ) -> Dict[str, Any]:
     """Serve the fixed request stream through one fault timeline.
 
@@ -197,7 +210,8 @@ def _serving_arm(
     counts) so the *only* randomness is the fault timeline — both arms
     see the identical stream and identical faults.
     """
-    sim = Simulator()
+    obs = MetricsRegistry() if observe else None
+    sim = Simulator(obs=obs)
     cluster = Cluster(
         sim,
         tensor_parallel_group(H100_80G, 2),
@@ -205,8 +219,9 @@ def _serving_arm(
         num_engines=2,
         max_batch_size=8,
         kv_recovery=KVRecoveryConfig(enabled=mitigated),
+        obs=obs,
     )
-    _process, log = spawn_kv_faults(sim, cluster.engines, schedule)
+    _process, log = spawn_kv_faults(sim, cluster.engines, schedule, obs=obs)
     requests = [
         InferenceRequest(
             arrival_time=0.25 * i, prompt_tokens=256, output_tokens=32
@@ -214,7 +229,7 @@ def _serving_arm(
         for i in range(num_requests)
     ]
     report = cluster.run(requests)
-    return {
+    result = {
         "mitigated": mitigated,
         "log_fingerprint": log.fingerprint(),
         "availability": report.availability,
@@ -225,6 +240,9 @@ def _serving_arm(
         "kv_recoveries": report.kv_recoveries,
         "kv_recompute_tokens": report.kv_recompute_tokens,
     }
+    if obs is not None:
+        result["obs"] = obs.snapshot()
+    return result
 
 
 def serving_point(point: Dict[str, Any], seed: SeedLike) -> Dict[str, Any]:
@@ -232,6 +250,7 @@ def serving_point(point: Dict[str, Any], seed: SeedLike) -> Dict[str, Any]:
     kv_loss_per_hour = float(point["kv_loss_per_hour"])
     horizon_s = float(point.get("horizon_s", 30.0))
     num_requests = int(point.get("num_requests", 60))
+    observe = bool(point.get("observe", False))
 
     schedule = generate_schedule(
         {FaultKind.KV_LOSS: kv_loss_per_hour / HOUR},
@@ -243,8 +262,8 @@ def serving_point(point: Dict[str, Any], seed: SeedLike) -> Dict[str, Any]:
         "kv_loss_per_hour": kv_loss_per_hour,
         "fault_events": len(schedule),
         "timeline_fingerprint": schedule.fingerprint(),
-        "baseline": _serving_arm(schedule, False, num_requests),
-        "mitigated": _serving_arm(schedule, True, num_requests),
+        "baseline": _serving_arm(schedule, False, num_requests, observe),
+        "mitigated": _serving_arm(schedule, True, num_requests, observe),
     }
 
 

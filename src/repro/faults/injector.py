@@ -40,9 +40,16 @@ from repro.sim import Process, Simulator, Timeout
 
 @dataclass
 class FaultLog:
-    """What the injector did: one entry per applied event."""
+    """What the injector did: one entry per applied event.
+
+    When constructed with an observability registry, every recorded
+    entry also bumps a ``faults.applied_total{kind=...,outcome=...}``
+    counter — the per-kind/per-outcome breakdown the log itself only
+    yields by scanning.
+    """
 
     entries: List[dict] = field(default_factory=list)
+    obs: object = None
 
     def record(self, event: FaultEvent, outcome: str, detail: int = 0) -> None:
         self.entries.append(
@@ -54,6 +61,10 @@ class FaultLog:
                 "detail": detail,
             }
         )
+        if self.obs is not None and self.obs.enabled:
+            self.obs.counter(
+                "faults.applied_total", kind=event.kind.value, outcome=outcome
+            ).add()
 
     def fingerprint(self) -> str:
         """Digest of the applied timeline *and its effects*."""
@@ -95,10 +106,11 @@ class ControllerFaultInjector:
         controller: MRMController,
         schedule: FaultSchedule,
         burst_scale_bits: Optional[int] = None,
+        obs=None,
     ) -> None:
         self.controller = controller
         self.schedule = schedule
-        self.log = FaultLog()
+        self.log = FaultLog(obs=obs)
         if burst_scale_bits is None:
             t = controller.ecc_code.t if controller.ecc_code else 16
             burst_scale_bits = 4 * (t + 1)
@@ -215,6 +227,7 @@ def spawn_kv_faults(
     engines: Sequence[InferenceEngine],
     schedule: FaultSchedule,
     log: Optional[FaultLog] = None,
+    obs=None,
 ) -> Tuple[Process, FaultLog]:
     """Start the serving-layer fault process; returns ``(process, log)``.
 
@@ -225,7 +238,7 @@ def spawn_kv_faults(
     timeline to victim never depends on construction order.
     """
     if log is None:
-        log = FaultLog()
+        log = FaultLog(obs=obs)
     ordered = sorted(engines, key=lambda e: e.name)
     if not ordered:
         raise ValueError("need at least one engine")

@@ -136,12 +136,14 @@ class Cluster:
         max_batch_size: int = 16,
         enable_prefix_sharing: bool = False,
         kv_recovery: Optional[KVRecoveryConfig] = None,
+        obs=None,
     ) -> None:
         if num_engines < 1:
             raise ValueError("need at least one engine")
         self.sim = sim
         self.accelerator = accelerator
         self.model = model
+        self.obs = obs
         self.engines: List[InferenceEngine] = [
             InferenceEngine(
                 sim,
@@ -152,6 +154,7 @@ class Cluster:
                 enable_prefix_sharing=enable_prefix_sharing,
                 kv_recovery=kv_recovery,
                 name=f"engine-{i}",
+                obs=obs,
             )
             for i in range(num_engines)
         ]

@@ -24,6 +24,7 @@ from repro.inference.accelerator import AcceleratorConfig
 from repro.inference.batching import BatchScheduler, RunningContext
 from repro.inference.kvcache import KVCacheManager
 from repro.inference.roofline import Boundedness, RooflineModel
+from repro.obs import NULL_REGISTRY
 from repro.sim import Histogram, MetricRegistry, Simulator, Timeout
 from repro.workload.model import ModelConfig
 from repro.workload.phases import (
@@ -128,6 +129,7 @@ class InferenceEngine:
         enable_prefix_sharing: bool = False,
         kv_recovery: Optional[KVRecoveryConfig] = None,
         name: str = "",
+        obs=None,
     ) -> None:
         self.sim = sim
         self.accelerator = accelerator
@@ -150,14 +152,33 @@ class InferenceEngine:
                 f"{self.name}: no KV capacity left on tier {kv_tier.name!r} "
                 f"after weights/activations reservation"
             )
+        # Engine-local MetricRegistry stays the summaries' source of
+        # truth; the shared obs registry mirrors the serving counters
+        # under an engine label for snapshots and exports.
+        self.obs = obs if obs is not None else NULL_REGISTRY
         self.kv = KVCacheManager(
             model,
             kv_capacity_bytes,
             tokens_per_page=tokens_per_page,
             enable_prefix_sharing=enable_prefix_sharing,
+            obs=self.obs,
+            name=self.name,
         )
         self.scheduler = BatchScheduler(self.kv, max_batch_size=max_batch_size)
         self.metrics = MetricRegistry()
+        o = self.obs
+        engine = self.name
+        self._obs_tokens = o.counter("engine.tokens_generated_total", engine=engine)
+        self._obs_completed = o.counter("engine.requests_completed_total", engine=engine)
+        self._obs_failed = o.counter("engine.requests_failed_total", engine=engine)
+        self._obs_kv_losses = o.counter("engine.kv_losses_total", engine=engine)
+        self._obs_kv_recoveries = o.counter("engine.kv_recoveries_total", engine=engine)
+        self._obs_recompute = o.counter("engine.kv_recompute_tokens_total", engine=engine)
+        self._obs_prefix_shared = o.counter("engine.prefix_tokens_shared_total", engine=engine)
+        self._obs_mem_steps = o.counter("engine.memory_bound_steps_total", engine=engine)
+        self._obs_compute_steps = o.counter("engine.compute_bound_steps_total", engine=engine)
+        self._obs_ttft = o.histogram("engine.ttft_s", engine=engine)
+        self._obs_tbt = o.histogram("engine.tbt_s", engine=engine)
         self.completed: List[RunningContext] = []
         self.kv_recovery = kv_recovery or KVRecoveryConfig()
         #: requests dropped after exhausting their recovery budget (or
@@ -218,6 +239,7 @@ class InferenceEngine:
         self.kv.release(context_id)
         self.scheduler.finish(context_id)
         self.metrics.counter("kv_losses").add(1)
+        self._obs_kv_losses.add()
         used = self._kv_recoveries.get(context_id, 0)
         cfg = self.kv_recovery
         if cfg.enabled and used < cfg.max_recoveries_per_request:
@@ -228,11 +250,14 @@ class InferenceEngine:
             self.metrics.counter("kv_recompute_tokens").add(
                 context.context_tokens
             )
+            self._obs_kv_recoveries.add()
+            self._obs_recompute.add(context.context_tokens)
             self.scheduler.enqueue(context.request)
             self._wake()
             return "recovered"
         self.failed.append(context)
         self.metrics.counter("requests_failed").add(1)
+        self._obs_failed.add()
         return "failed"
 
     # ------------------------------------------------------------------
@@ -285,6 +310,7 @@ class InferenceEngine:
         )
         if shared_tokens:
             self.metrics.counter("prefix_tokens_shared").add(shared_tokens)
+            self._obs_prefix_shared.add(shared_tokens)
         # Multi-turn follow-up: history KV already resident, prefill only
         # the new turn's tokens.
         new_tokens = request.prompt_tokens - request.cached_prompt_tokens
@@ -334,14 +360,18 @@ class InferenceEngine:
                 self.metrics.histogram("ttft_s").observe(
                     now - context.request.arrival_time
                 )
+                self._obs_ttft.observe(now - context.request.arrival_time)
             self.metrics.histogram("tbt_s").observe(timing.duration_s)
             self.metrics.counter("tokens_generated").add(1)
+            self._obs_tbt.observe(timing.duration_s)
+            self._obs_tokens.add()
             if context.done:
                 context.finished_at = now
                 self.kv.release(context.context_id)
                 self.scheduler.finish(context.context_id)
                 self.completed.append(context)
                 self.metrics.counter("requests_completed").add(1)
+                self._obs_completed.add()
                 self.metrics.histogram("request_latency_s").observe(
                     now - context.request.arrival_time
                 )
@@ -354,8 +384,10 @@ class InferenceEngine:
         self._busy_time += timing.duration_s
         if timing.boundedness is Boundedness.MEMORY:
             m.counter("memory_bound_steps").add(1)
+            self._obs_mem_steps.add()
         else:
             m.counter("compute_bound_steps").add(1)
+            self._obs_compute_steps.add()
         routes = [
             ("weights", traffic.bytes_read_weights, 0.0),
             ("kv", traffic.bytes_read_kv, traffic.bytes_written_kv),
@@ -378,6 +410,10 @@ class InferenceEngine:
         def hist(name: str) -> Histogram:
             return m.histogram(name)
 
+        def q(name: str, quantile: float) -> float:
+            value = hist(name).quantile(quantile)
+            return float("nan") if value is None else value
+
         tier_reads: Dict[str, float] = {}
         tier_writes: Dict[str, float] = {}
         for tier in self.accelerator.tiers:
@@ -386,10 +422,10 @@ class InferenceEngine:
         return EngineMetrics(
             requests_completed=int(m.counter("requests_completed").value),
             tokens_generated=int(m.counter("tokens_generated").value),
-            ttft_p50_s=hist("ttft_s").quantile(0.5),
-            ttft_p99_s=hist("ttft_s").quantile(0.99),
-            tbt_p50_s=hist("tbt_s").quantile(0.5),
-            tbt_p99_s=hist("tbt_s").quantile(0.99),
+            ttft_p50_s=q("ttft_s", 0.5),
+            ttft_p99_s=q("ttft_s", 0.99),
+            tbt_p50_s=q("tbt_s", 0.5),
+            tbt_p99_s=q("tbt_s", 0.99),
             memory_bound_steps=int(m.counter("memory_bound_steps").value),
             compute_bound_steps=int(m.counter("compute_bound_steps").value),
             tier_bytes_read=tier_reads,

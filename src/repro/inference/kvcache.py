@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.inference.paging import OutOfPages, PagedAllocator, PageTable
+from repro.obs import NULL_REGISTRY
 from repro.workload.model import ModelConfig
 
 
@@ -46,6 +47,8 @@ class KVCacheManager:
         capacity_bytes: int,
         tokens_per_page: int = 16,
         enable_prefix_sharing: bool = False,
+        obs=None,
+        name: str = "kv0",
     ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
@@ -70,6 +73,18 @@ class KVCacheManager:
         self._prefix_keys_by_context: Dict[int, List[str]] = {}
         self.prefix_hits = 0
         self.prefix_misses = 0
+        # Byte accounting through the observability registry.  The
+        # invariant the property tests assert: appended − released ==
+        # resident (shared pages are counted once, under *_shared).
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        o = self.obs
+        self._obs_appended = o.counter("kv.bytes_appended_total", pool=name)
+        self._obs_released = o.counter("kv.bytes_released_total", pool=name)
+        self._obs_shared = o.counter("kv.bytes_shared_total", pool=name)
+        self._obs_resident = o.gauge("kv.bytes_resident", pool=name)
+        self._obs_registered = o.counter("kv.contexts_registered_total", pool=name)
+        self._obs_evicted = o.counter("kv.contexts_released_total", pool=name)
+        self._obs_rejections = o.counter("kv.out_of_pages_total", pool=name)
 
     # ------------------------------------------------------------------
     # Capacity queries
@@ -136,14 +151,27 @@ class KVCacheManager:
         try:
             allocated = table.append_tokens(remaining) if remaining > 0 else 0
         except OutOfPages:
+            # Rollback is physically neutral (shared pages only drop a
+            # refcount), so recording nothing keeps byte accounting exact.
             table.free()
+            self._obs_rejections.add()
             raise
         self._tables[context_id] = table
+        self._obs_registered.add()
+        self._obs_appended.add(allocated * self.page_bytes)
+        self._obs_shared.add(
+            (shared_tokens // self.tokens_per_page) * self.page_bytes
+        )
+        self._obs_resident.set(self.used_bytes())
         return allocated, shared_tokens
 
     def append(self, context_id: int, tokens: int = 1) -> int:
         """Record decode appends; returns pages newly allocated."""
-        return self._table(context_id).append_tokens(tokens)
+        allocated = self._table(context_id).append_tokens(tokens)
+        if allocated:
+            self._obs_appended.add(allocated * self.page_bytes)
+            self._obs_resident.set(self.used_bytes())
+        return allocated
 
     def append_batch(self, context_ids: Iterable[int], tokens: int = 1) -> int:
         """Record one decode step for a whole batch in a single call.
@@ -170,6 +198,9 @@ class KVCacheManager:
                 table.tokens = total
             else:
                 allocated += table.append_tokens(tokens)
+        if allocated:
+            self._obs_appended.add(allocated * self.page_bytes)
+            self._obs_resident.set(self.used_bytes())
         return allocated
 
     def release(self, context_id: int) -> int:
@@ -186,7 +217,16 @@ class KVCacheManager:
         for key in self._prefix_keys_by_context.pop(context_id, ()):
             if self._prefix_index.get(key) == context_id:
                 del self._prefix_index[key]
-        return table.free()
+        # Physical frees only: a shared page someone else still maps is
+        # unmapped here but stays resident, so the accounting measures
+        # the allocator's used-page delta, not the unmap count.
+        used_before = self.allocator.used_pages
+        released = table.free()
+        freed = used_before - self.allocator.used_pages
+        self._obs_evicted.add()
+        self._obs_released.add(freed * self.page_bytes)
+        self._obs_resident.set(self.used_bytes())
+        return released
 
     def _table(self, context_id: int) -> PageTable:
         table = self._tables.get(context_id)

@@ -317,6 +317,11 @@ class SplitwiseCluster:
     def report(self) -> SplitReport:
         metrics = self.metrics
         duration = self.sim.now
+
+        def q(name: str, quantile: float) -> float:
+            value = metrics.histogram(name).quantile(quantile)
+            return float("nan") if value is None else value
+
         prefill_busy = sum(m.busy_time for m in self.prefill_pool)
         decode_busy = sum(m.busy_time for m in self.decode_pool)
         return SplitReport(
@@ -325,9 +330,9 @@ class SplitwiseCluster:
             ),
             tokens_generated=int(metrics.counter("tokens_generated").value),
             duration_s=duration,
-            ttft_p50_s=metrics.histogram("ttft_s").quantile(0.5),
-            ttft_p99_s=metrics.histogram("ttft_s").quantile(0.99),
-            tbt_p50_s=metrics.histogram("tbt_s").quantile(0.5),
+            ttft_p50_s=q("ttft_s", 0.5),
+            ttft_p99_s=q("ttft_s", 0.99),
+            tbt_p50_s=q("tbt_s", 0.5),
             kv_transfer_bytes=metrics.counter("kv_transfer_bytes").value,
             prefill_utilization=(
                 prefill_busy / (duration * len(self.prefill_pool))

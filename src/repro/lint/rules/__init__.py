@@ -22,6 +22,7 @@ from repro.lint.rules.determinism import (
 )
 from repro.lint.rules.exceptions import SwallowedExceptionRule
 from repro.lint.rules.floats import FloatEqualityRule
+from repro.lint.rules.obs import ObsDeterminismRule
 from repro.lint.rules.parallelism import AdHocParallelismRule
 from repro.lint.rules.provenance import DeviceProvenanceRule
 from repro.lint.rules.simhygiene import SimProcessHygieneRule
@@ -39,6 +40,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     DeviceProvenanceRule,  # RL008
     AdHocParallelismRule,  # RL009
     SwallowedExceptionRule,  # RL010
+    ObsDeterminismRule,  # RL011
 ]
 
 

@@ -1,0 +1,106 @@
+"""Renderers behind ``python -m repro obs``.
+
+Three views over exported observability artifacts:
+
+- :func:`render_top` — the top-N counters of a snapshot, largest first
+  (ties broken by name so output is deterministic).
+- :func:`render_span_tree` — the parent/child span tree of a JSON-lines
+  trace, indented, with simulated-time intervals.
+- :func:`render_diff` — the flat difference list between two snapshots
+  (what golden-test failures print).
+
+All three return strings; the CLI only prints them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.snapshot import diff_snapshots, load_snapshot
+
+
+def render_top(
+    path: str, limit: int = 20, section: str = "counters"
+) -> str:
+    """The ``limit`` largest entries of one snapshot section."""
+    snap = load_snapshot(path)
+    if section not in ("counters", "gauges"):
+        raise ValueError(
+            f"unknown section {section!r} (expected counters or gauges)"
+        )
+    entries: Dict[str, float] = snap.get(section, {})
+    ranked = sorted(entries.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
+    if not ranked:
+        return f"(no {section} in {path})"
+    width = max(len(name) for name, _ in ranked)
+    lines = [f"top {len(ranked)} {section} — {path}"]
+    for name, value in ranked:
+        lines.append(f"  {name:<{width}}  {value:g}")
+    return "\n".join(lines)
+
+
+def _load_trace(path: str) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    with open(path) as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    if not lines or "trace_schema" not in lines[0]:
+        raise ValueError(f"{path} is not a repro.obs trace (missing header)")
+    return lines[0], lines[1:]
+
+
+def render_span_tree(path: str, limit: Optional[int] = None) -> str:
+    """The span tree of a trace file, one line per span, indented by
+    parentage and ordered by span id (open order in simulated time)."""
+    header, records = _load_trace(path)
+    children: Dict[Optional[int], List[Dict[str, object]]] = {}
+    for record in records:
+        children.setdefault(record["parent_id"], []).append(record)
+
+    lines = [f"trace {header.get('trace_schema')} — {path}"]
+    emitted = 0
+
+    def fmt(record: Dict[str, object]) -> str:
+        start = record["start_s"]
+        end = record["end_s"]
+        interval = (
+            f"[{start:g}s .. {end:g}s]" if end is not None else f"[{start:g}s .. open]"
+        )
+        attrs = record.get("attrs") or {}
+        suffix = (
+            " " + ",".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+            if attrs
+            else ""
+        )
+        return f"#{record['span_id']} {record['name']} {interval}{suffix}"
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        nonlocal emitted
+        for record in sorted(
+            children.get(parent, []), key=lambda r: r["span_id"]
+        ):
+            if limit is not None and emitted >= limit:
+                return
+            lines.append("  " * (depth + 1) + fmt(record))
+            emitted += 1
+            walk(record["span_id"], depth + 1)
+
+    walk(None, 0)
+    if not records:
+        lines.append("  (no spans)")
+    elif limit is not None and emitted < len(records):
+        lines.append(f"  ... {len(records) - emitted} more spans")
+    return "\n".join(lines)
+
+
+def render_diff(path_a: str, path_b: str) -> Tuple[str, int]:
+    """Human-readable snapshot diff; returns (text, difference count)."""
+    diffs = diff_snapshots(load_snapshot(path_a), load_snapshot(path_b))
+    if not diffs:
+        return f"snapshots identical: {path_a} == {path_b}", 0
+    lines = [f"{len(diffs)} difference(s): {path_a} vs {path_b}"]
+    for entry in diffs:
+        lines.append(
+            f"  [{entry['section']}] {entry['metric']}: "
+            f"{entry['a']!r} -> {entry['b']!r}"
+        )
+    return "\n".join(lines), len(diffs)

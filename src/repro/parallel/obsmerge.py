@@ -1,0 +1,60 @@
+"""Reducing per-point observability snapshots from a sweep.
+
+Sweep point functions that observe themselves (``observe: True`` in the
+point config, or an explicit per-point :class:`repro.obs.MetricsRegistry`)
+return their snapshot as part of the point result.  Because
+:func:`repro.parallel.run_sweep` collects results in grid order
+regardless of which worker produced them, reducing those snapshots here
+is *order-fixed*; because :func:`repro.obs.merge_snapshots` is
+commutative, the reduction is also insensitive to that order — the two
+properties together make the merged snapshot bit-identical between
+serial and ``REPRO_WORKERS=4`` runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.obs.snapshot import empty_snapshot, merge_snapshots, relabel_snapshot
+
+#: Paired-arm result keys whose nested snapshots get an ``arm`` label.
+_ARM_KEYS = ("baseline", "mitigated")
+
+
+def extract_snapshots(row: Any) -> Iterator[Dict[str, Any]]:
+    """Yield every snapshot a sweep result row carries.
+
+    Recognizes the repository's two result shapes:
+
+    - a dict with an ``"obs"`` key (plain observed point);
+    - a dict with paired-arm sub-dicts (``"baseline"``/``"mitigated"``)
+      each carrying ``"obs"`` — yielded relabeled with ``arm=...`` so
+      the arms stay distinguishable after the merge.
+    """
+    if not isinstance(row, dict):
+        return
+    if "obs" in row:
+        yield row["obs"]
+    for arm in _ARM_KEYS:
+        sub = row.get(arm)
+        if isinstance(sub, dict) and "obs" in sub:
+            yield relabel_snapshot(sub["obs"], arm=arm)
+
+
+def merge_sweep_snapshots(
+    rows: Sequence[Any],
+    extract: Optional[Callable[[Any], Iterable[Dict[str, Any]]]] = None,
+) -> Dict[str, Any]:
+    """Merge every snapshot in a grid-ordered sweep result list.
+
+    ``extract`` overrides :func:`extract_snapshots` for custom result
+    shapes.  Rows without snapshots contribute nothing; an all-blind
+    sweep merges to the empty snapshot.
+    """
+    picker = extract if extract is not None else extract_snapshots
+    snaps: List[Dict[str, Any]] = []
+    for row in rows:
+        snaps.extend(picker(row))
+    if not snaps:
+        return empty_snapshot()
+    return merge_snapshots(snaps)

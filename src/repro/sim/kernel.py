@@ -20,6 +20,12 @@ class Simulator:
     seconds everywhere).  Determinism: same schedule order in, same
     execution order out — ties in time break by scheduling order.
 
+    Observability is opt-in: pass a :class:`repro.obs.MetricsRegistry`
+    as ``obs`` to count events/spawns, and a :class:`repro.obs.Tracer`
+    as ``tracer`` to open one simulated-time span per process.  Both
+    default to off; the hot loop then pays one ``is not None`` branch
+    per event (asserted < 2% in ``benchmarks/obs/``).
+
     Example
     -------
     >>> sim = Simulator()
@@ -29,12 +35,32 @@ class Simulator:
     5.0
     """
 
-    __slots__ = ("_now", "_queue", "_running")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_running",
+        "_obs_events",
+        "_obs_spawns",
+        "_tracer",
+    )
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        obs: Any = None,
+        tracer: Any = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()
         self._running = False
+        # Bind the counters once so the per-event cost with obs off (or
+        # the null registry) is a single attribute check, not a lookup.
+        live = obs is not None and obs.enabled
+        self._obs_events = obs.counter("sim.events_total") if live else None
+        self._obs_spawns = obs.counter("sim.processes_spawned_total") if live else None
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        if self._tracer is not None:
+            self._tracer.set_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -94,6 +120,14 @@ class Simulator:
         so that spawning inside a callback is safe.
         """
         process = Process(self, generator, name=name)
+        if self._obs_spawns is not None:
+            self._obs_spawns.add()
+        if self._tracer is not None:
+            # Span names come from Process.name (generator __name__ or
+            # the caller's label) — deterministic, unlike event reprs.
+            span = self._tracer.begin(f"process:{process.name}")
+            tracer = self._tracer
+            process.done.add_callback(lambda _ev: tracer.end(span))
         self.schedule(0.0, lambda _ev: process._step(None))
         return process
 
@@ -111,6 +145,8 @@ class Simulator:
         if time < self._now:
             raise RuntimeError(f"time went backwards: {time} < {self._now}")
         self._now = time
+        if self._obs_events is not None:
+            self._obs_events.add()
         event._fire()
         return True
 

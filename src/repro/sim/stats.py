@@ -195,14 +195,19 @@ class Histogram:
         once a quantile has been asked for)."""
         return self._buf[: self._n].copy()
 
-    def quantile(self, q: float) -> float:
-        """Exact empirical quantile, linear interpolation between ranks."""
+    def quantile(self, q: float) -> Optional[float]:
+        """Exact empirical quantile, linear interpolation between ranks.
+
+        Returns ``None`` when no samples have been recorded — callers
+        must handle the empty case explicitly rather than propagate a
+        quiet NaN into reports.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         samples = self._ensure_sorted()
         n = samples.size
         if n == 0:
-            return float("nan")
+            return None
         if n == 1:
             return float(samples[0])
         pos = q * (n - 1)
@@ -211,7 +216,7 @@ class Histogram:
         frac = pos - lo
         return float(samples[lo] * (1 - frac) + samples[hi] * frac)
 
-    def median(self) -> float:
+    def median(self) -> Optional[float]:
         return self.quantile(0.5)
 
     def max(self) -> float:

@@ -40,15 +40,32 @@ class MigrationPlan:
         return not self.moves
 
 
+def _record_plan(obs, plan: MigrationPlan, kind: str) -> None:
+    """Mirror a finished plan into an observability registry."""
+    if obs is None or not obs.enabled:
+        return
+    obs.counter("migration.plans_total", kind=kind).add()
+    obs.counter("migration.moves_total", kind=kind).add(len(plan.moves))
+    obs.counter("migration.bytes_moved_total", kind=kind).add(plan.bytes_moved)
+    obs.counter("migration.energy_j_total", kind=kind).add(plan.energy_j)
+    obs.histogram("migration.transfer_time_s", kind=kind).observe(
+        plan.transfer_time_s
+    )
+
+
 def plan_migration(
-    before: Placement, after: Placement, objects: Sequence[DataObject]
+    before: Placement,
+    after: Placement,
+    objects: Sequence[DataObject],
+    obs=None,
 ) -> MigrationPlan:
     """Diff two placements over the same object set.
 
     Transfer time models the per-move bottleneck (min of source read and
     destination write bandwidth) with moves serialized — a conservative
     bound; energy charges a read on the source and a write on the
-    destination.
+    destination.  ``obs`` (a :class:`repro.obs.MetricsRegistry`) records
+    the finished plan's traffic under ``kind=rebalance``.
     """
     plan = MigrationPlan()
     for obj in objects:
@@ -66,6 +83,7 @@ def plan_migration(
         plan.transfer_time_s += obj.size_bytes / effective_bw
         plan.energy_j += source.read_energy_j(obj.size_bytes)
         plan.energy_j += destination.write_energy_j(obj.size_bytes)
+    _record_plan(obs, plan, "rebalance")
     return plan
 
 
@@ -73,6 +91,7 @@ def plan_drain(
     placement: Placement,
     failing_tier: str,
     prefer: Optional[Sequence[str]] = None,
+    obs=None,
 ) -> Tuple[MigrationPlan, List[DataObject]]:
     """Graceful degradation: evacuate everything off a degrading tier.
 
@@ -123,4 +142,12 @@ def plan_drain(
                 break
         if not placed:
             stranded.append(obj)
+    _record_plan(obs, plan, "drain")
+    if obs is not None and obs.enabled:
+        obs.counter("migration.stranded_objects_total", kind="drain").add(
+            len(stranded)
+        )
+        obs.counter("migration.stranded_bytes_total", kind="drain").add(
+            sum(o.size_bytes for o in stranded)
+        )
     return plan, stranded

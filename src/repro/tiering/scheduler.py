@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.placement import DataObject
+from repro.obs import NULL_REGISTRY
 from repro.tiering.tiers import MemoryTier
 
 
@@ -74,7 +75,10 @@ class TierManager:
     """
 
     def __init__(
-        self, tiers: List[MemoryTier], demotion_tier: Optional[str] = None
+        self,
+        tiers: List[MemoryTier],
+        demotion_tier: Optional[str] = None,
+        obs=None,
     ) -> None:
         if not tiers:
             raise ValueError("need at least one tier")
@@ -89,6 +93,19 @@ class TierManager:
         self.stats = TierManagerStats()
         self._residents: Dict[int, _Resident] = {}
         self._used: Dict[str, int] = {name: 0 for name in self.tiers}
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        o = self.obs
+        self._obs_admitted = o.counter("tier.objects_admitted_total")
+        self._obs_refreshed = o.counter("tier.refreshes_total")
+        self._obs_migrated = o.counter("tier.migrations_total")
+        self._obs_dropped = o.counter("tier.objects_dropped_total")
+        self._obs_bytes_dropped = o.counter("tier.bytes_dropped_total")
+        self._obs_refresh_energy = o.counter("tier.refresh_energy_j_total")
+        self._obs_migration_energy = o.counter("tier.migration_energy_j_total")
+        # Per-tier occupancy gauges, updated on every charge/refund.
+        self._obs_used: Dict[str, object] = {
+            name: o.gauge("tier.bytes_used", tier=name) for name in self.tiers
+        }
 
     # ------------------------------------------------------------------
     # Capacity
@@ -106,11 +123,13 @@ class TierManager:
                 f"need {obj.size_bytes})"
             )
         self._used[tier.name] += obj.size_bytes
+        self._obs_used[tier.name].set(self._used[tier.name])
 
     def _refund(self, tier: MemoryTier, obj: DataObject) -> None:
         self._used[tier.name] -= obj.size_bytes
         if self._used[tier.name] < 0:
             raise AssertionError(f"negative usage on {tier.name}")
+        self._obs_used[tier.name].set(self._used[tier.name])
 
     # ------------------------------------------------------------------
     # Object lifecycle
@@ -128,6 +147,7 @@ class TierManager:
             needed_until=now + obj.lifetime_s,
         )
         self.stats.admitted += 1
+        self._obs_admitted.add()
 
     def touch(self, obj: DataObject, now: float, extend_s: Optional[float] = None) -> None:
         """The object is still in use: extend its needed-until horizon."""
@@ -144,6 +164,8 @@ class TierManager:
         self._refund(resident.tier, obj)
         self.stats.dropped += 1
         self.stats.bytes_dropped += obj.size_bytes
+        self._obs_dropped.add()
+        self._obs_bytes_dropped.add(obj.size_bytes)
 
     def tier_of(self, obj: DataObject) -> str:
         return self._resident(obj).tier.name
@@ -182,6 +204,8 @@ class TierManager:
             self._refund(resident.tier, obj)
             self.stats.dropped += 1
             self.stats.bytes_dropped += obj.size_bytes
+            self._obs_dropped.add()
+            self._obs_bytes_dropped.add(obj.size_bytes)
             actions["dropped"] += 1
             return
         if self._should_migrate(resident, when):
@@ -195,6 +219,8 @@ class TierManager:
         energy = resident.tier.write_energy_j(resident.obj.size_bytes)
         self.stats.refreshed += 1
         self.stats.refresh_energy_j += energy
+        self._obs_refreshed.add()
+        self._obs_refresh_energy.add(energy)
         resident.written_at = when
 
     def _should_migrate(self, resident: _Resident, when: float) -> bool:
@@ -239,5 +265,7 @@ class TierManager:
         energy += destination.write_energy_j(obj.size_bytes)
         self.stats.migrated += 1
         self.stats.migration_energy_j += energy
+        self._obs_migrated.add()
+        self._obs_migration_energy.add(energy)
         resident.tier = destination
         resident.written_at = when

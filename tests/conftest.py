@@ -12,6 +12,21 @@ from repro.units import MiB
 from repro.workload.model import LLAMA2_13B, LLAMA2_70B
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden snapshots under tests/obs/golden/ "
+             "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

@@ -458,3 +458,72 @@ class TestRL010SwallowedExceptions:
         (tmp_path / "repro/sim/kernel.py").write_text("x = 1\n")
         findings = run_lint(tmp_path, source, relpath="repro/driver.py")
         assert "RL010" in rule_ids(findings)
+
+
+class TestRL011ObsDeterminism:
+    def test_wall_clock_in_label_flagged(self, tmp_path):
+        source = """\
+            import time
+
+            from repro.obs import MetricsRegistry
+
+            reg = MetricsRegistry()
+            reg.counter("runs_total", started=time.time()).add()
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL011" in rule_ids(findings)
+
+    def test_id_in_label_flagged(self, tmp_path):
+        source = """\
+            from repro.obs import MetricsRegistry
+
+            def record(reg, engine):
+                reg.gauge("engine.depth", engine=id(engine)).set(1.0)
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL011" in rule_ids(findings)
+
+    def test_uuid_in_fstring_name_flagged(self, tmp_path):
+        source = """\
+            import uuid
+
+            from repro.obs import Tracer
+
+            def trace(tracer):
+                tracer.begin(f"run:{uuid.uuid4()}")
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL011" in rule_ids(findings)
+
+    def test_getpid_in_value_flagged(self, tmp_path):
+        source = """\
+            import os
+
+            from repro.obs import MetricsRegistry
+
+            def record(reg):
+                reg.gauge("worker").set(os.getpid())
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL011" in rule_ids(findings)
+
+    def test_config_derived_labels_clean(self, tmp_path):
+        source = """\
+            from repro.obs import MetricsRegistry
+
+            def record(reg, config, sim):
+                reg.counter("kv.bytes_total", pool=config["pool"]).add(4096)
+                reg.gauge("sim.clock_s").set(sim.now)
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL011" not in rule_ids(findings)
+
+    def test_identity_builtins_clean_without_obs_import(self, tmp_path):
+        # `.add(id(...))` on a set is legal Python; the rule only
+        # applies where repro.obs is in scope.
+        source = """\
+            def track(seen, obj):
+                seen.add(id(obj))
+        """
+        findings = run_lint(tmp_path, source)
+        assert "RL011" not in rule_ids(findings)

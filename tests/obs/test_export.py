@@ -1,0 +1,94 @@
+"""Exporter tests: Prometheus text and JSON-lines traces."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    merge_snapshots,
+    prometheus_text,
+    write_prometheus,
+    write_trace_jsonl,
+)
+
+
+def _sample_registry():
+    reg = MetricsRegistry()
+    reg.counter("reads_total", device="mrm0").add(3)
+    reg.gauge("resident_bytes").set(1024)
+    reg.histogram("latency_s").observe_many([0.1, 0.2, 0.3])
+    reg.info("run.command").set("serve")
+    return reg
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        text = prometheus_text(_sample_registry())
+        assert "# TYPE reads_total counter" in text
+        assert 'reads_total{device="mrm0"} 3.0' in text
+        assert "# TYPE resident_bytes gauge" in text
+        assert "resident_bytes 1024.0" in text
+
+    def test_histogram_renders_as_summary(self):
+        text = prometheus_text(_sample_registry())
+        assert "# TYPE latency_s summary" in text
+        assert "latency_s_count 3" in text
+        assert 'latency_s{quantile="0.5"}' in text
+        assert 'latency_s{quantile="0.99"}' in text
+
+    def test_one_type_line_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", arm="baseline").add(1)
+        reg.counter("events_total", arm="mitigated").add(2)
+        text = prometheus_text(reg)
+        assert text.count("# TYPE events_total counter") == 1
+        assert 'events_total{arm="baseline"} 1.0' in text
+        assert 'events_total{arm="mitigated"} 2.0' in text
+
+    def test_info_renders_as_value_label(self):
+        text = prometheus_text(_sample_registry())
+        assert 'run.command{value="serve"} 1' in text
+
+    def test_merged_quantiles_render_as_nan(self):
+        merged = merge_snapshots(
+            [_sample_registry().snapshot(), _sample_registry().snapshot()]
+        )
+        text = prometheus_text(merged)
+        assert 'latency_s{quantile="0.9"} NaN' in text
+        assert "latency_s_count 6" in text
+
+    def test_empty_source_is_empty_text(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_is_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.prom"), str(tmp_path / "b.prom")
+        write_prometheus(a, _sample_registry())
+        write_prometheus(b, _sample_registry())
+        assert open(a).read() == open(b).read()
+
+
+class TestTraceExport:
+    def _trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test"):
+            tracer.instant("inner")
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(path, tracer, meta={"seed": 0})
+        return path
+
+    def test_header_then_spans_in_id_order(self, tmp_path):
+        lines = [
+            json.loads(line)
+            for line in open(self._trace(tmp_path))
+            if line.strip()
+        ]
+        assert lines[0]["trace_schema"] == "repro.obs.trace/1"
+        assert lines[0]["seed"] == 0
+        assert [rec["span_id"] for rec in lines[1:]] == [1, 2]
+        assert lines[2]["parent_id"] == 1
+        assert lines[2]["name"] == "inner"
+
+    def test_byte_identical_across_runs(self, tmp_path):
+        a = open(self._trace(tmp_path / "a")).read()
+        b = open(self._trace(tmp_path / "b")).read()
+        assert a == b

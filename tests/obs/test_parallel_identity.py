@@ -1,0 +1,56 @@
+"""Snapshots are a pure function of (config, seed): serial == parallel.
+
+The acceptance criterion for the observability layer: merged metric
+snapshots from a sweep are bit-identical whether the sweep ran
+in-process or across ``REPRO_WORKERS=4`` worker processes.  Per-point
+registries live inside the pure point functions, snapshots ride the
+result rows through :func:`repro.parallel.run_sweep` (grid-ordered),
+and :func:`repro.parallel.merge_sweep_snapshots` reduces them with a
+commutative merge — so equality here is exact, not approximate.
+"""
+
+from repro.faults.experiment import serving_point
+from repro.obs import canonical_json
+from repro.parallel import merge_sweep_snapshots, run_sweep
+
+#: Tiny but non-trivial: one quiet point, one fault-heavy point.
+POINTS = [
+    {
+        "kv_loss_per_hour": rate,
+        "horizon_s": 10.0,
+        "num_requests": 12,
+        "observe": True,
+    }
+    for rate in (0.0, 1440.0)
+]
+
+
+def _merged_snapshot(workers=None):
+    rows = run_sweep(serving_point, POINTS, root_seed=7, workers=workers)
+    return merge_sweep_snapshots(rows)
+
+
+def test_serial_vs_four_workers_bit_identical():
+    serial = canonical_json(_merged_snapshot(workers=1))
+    parallel = canonical_json(_merged_snapshot(workers=4))
+    assert serial == parallel
+
+
+def test_repro_workers_env_is_equivalent(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    via_env = canonical_json(_merged_snapshot(workers=None))
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert via_env == canonical_json(_merged_snapshot(workers=1))
+
+
+def test_snapshot_covers_both_arms_and_layers():
+    snap = _merged_snapshot(workers=1)
+    counters = snap["counters"]
+    for arm in ("baseline", "mitigated"):
+        assert f"sim.events_total{{arm={arm}}}" in counters
+        assert (
+            f"engine.tokens_generated_total{{arm={arm},engine=engine-0}}"
+            in counters
+        )
+    # The fault-heavy point applied KV losses in both arms.
+    assert any(name.startswith("faults.applied_total") for name in counters)

@@ -1,0 +1,147 @@
+"""Unit tests for the metrics registry and its no-op twin."""
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    format_metric_name,
+    parse_metric_name,
+)
+
+
+class TestMetricNames:
+    def test_bare_name(self):
+        assert format_metric_name("reads_total") == "reads_total"
+
+    def test_labels_sorted_by_key(self):
+        full = format_metric_name("x", {"b": 2, "a": "one"})
+        assert full == "x{a=one,b=2}"
+
+    def test_roundtrip(self):
+        full = format_metric_name("kv.bytes", {"pool": "e0", "arm": "base"})
+        name, labels = parse_metric_name(full)
+        assert name == "kv.bytes"
+        assert labels == {"pool": "e0", "arm": "base"}
+
+    def test_parse_bare(self):
+        assert parse_metric_name("plain") == ("plain", {})
+
+    @pytest.mark.parametrize("bad", ["a{b", "a=b", "a,b", 'a"b', "a\nb"])
+    def test_forbidden_characters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            format_metric_name(bad)
+        with pytest.raises(ValueError):
+            format_metric_name("x", {"k": bad})
+
+    def test_empty_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            format_metric_name("")
+        with pytest.raises(ValueError):
+            format_metric_name("x", {"": "v"})
+        with pytest.raises(ValueError):
+            format_metric_name("x", {"k": ""})
+
+
+class TestCounters:
+    def test_add_defaults_to_one(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add()
+        reg.counter("c").add(2.5)
+        assert reg.snapshot()["counters"]["c"] == 3.5
+
+    def test_labels_address_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("c", device="a").add()
+        reg.counter("c", device="b").add(2)
+        counters = reg.snapshot()["counters"]
+        assert counters["c{device=a}"] == 1.0
+        assert counters["c{device=b}"] == 2.0
+
+    def test_negative_add_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").add(-1)
+
+
+class TestGaugesAndInfo:
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(10)
+        g.add(-3)
+        assert reg.snapshot()["gauges"]["g"] == 7.0
+
+    def test_info_is_a_string(self):
+        reg = MetricsRegistry()
+        reg.info("run.seed").set(42)
+        assert reg.snapshot()["info"]["run.seed"] == "42"
+
+
+class TestHistograms:
+    def test_summary_has_moments_and_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe_many([1.0, 2.0, 3.0, 4.0])
+        summary = reg.snapshot()["histograms"]["lat"]
+        assert summary["count"] == 4
+        assert summary["sum"] == 10.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert set(summary) >= {"p50", "p90", "p99"}
+
+    def test_empty_summary_is_all_none(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat")
+        summary = reg.snapshot()["histograms"]["lat"]
+        assert summary["count"] == 0
+        assert summary["min"] is None
+        assert summary["max"] is None
+        assert summary["p50"] is None
+
+
+class TestRegistry:
+    def test_kind_mismatch_is_type_error(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_contains_and_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert "b" in reg
+        assert "z" not in reg
+        assert reg.names() == ["a", "b"]
+        assert len(reg) == 2
+
+    def test_snapshot_sections_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").add()
+        reg.counter("a").add()
+        assert list(reg.snapshot()["counters"]) == ["a", "z"]
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestNullRegistry:
+    def test_all_accessors_share_one_noop_metric(self):
+        c = NULL_REGISTRY.counter("c", k="v")
+        g = NULL_REGISTRY.gauge("g")
+        h = NULL_REGISTRY.histogram("h")
+        assert c is g is h
+        c.add(5)
+        g.set(3)
+        h.observe(1.0)
+        h.observe_many([1, 2])
+
+    def test_snapshot_is_empty(self):
+        snap = NULL_REGISTRY.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+        assert len(NULL_REGISTRY) == 0
+        assert "c" not in NULL_REGISTRY
+        assert NULL_REGISTRY.names() == []

@@ -1,0 +1,57 @@
+"""Unit tests for the sweep snapshot reduction helper."""
+
+from repro.obs import MetricsRegistry, empty_snapshot
+from repro.parallel import extract_snapshots, merge_sweep_snapshots
+
+
+def _snap(value):
+    reg = MetricsRegistry()
+    reg.counter("c").add(value)
+    return reg.snapshot()
+
+
+class TestExtractSnapshots:
+    def test_top_level_obs(self):
+        row = {"obs": _snap(1), "availability": 1.0}
+        assert list(extract_snapshots(row)) == [_snap(1)]
+
+    def test_paired_arms_get_arm_labels(self):
+        row = {
+            "baseline": {"obs": _snap(1)},
+            "mitigated": {"obs": _snap(2)},
+        }
+        snaps = list(extract_snapshots(row))
+        assert snaps[0]["counters"] == {"c{arm=baseline}": 1.0}
+        assert snaps[1]["counters"] == {"c{arm=mitigated}": 2.0}
+
+    def test_blind_rows_yield_nothing(self):
+        assert list(extract_snapshots({"availability": 1.0})) == []
+        assert list(extract_snapshots(["not", "a", "dict"])) == []
+        assert list(extract_snapshots({"baseline": {"x": 1}})) == []
+
+
+class TestMergeSweepSnapshots:
+    def test_sums_across_rows(self):
+        rows = [{"obs": _snap(1)}, {"obs": _snap(4)}, {"no_obs": True}]
+        merged = merge_sweep_snapshots(rows)
+        assert merged["counters"]["c"] == 5.0
+
+    def test_arms_stay_separate(self):
+        rows = [
+            {"baseline": {"obs": _snap(1)}, "mitigated": {"obs": _snap(2)}},
+            {"baseline": {"obs": _snap(10)}, "mitigated": {"obs": _snap(20)}},
+        ]
+        merged = merge_sweep_snapshots(rows)
+        assert merged["counters"]["c{arm=baseline}"] == 11.0
+        assert merged["counters"]["c{arm=mitigated}"] == 22.0
+
+    def test_all_blind_sweep_merges_to_empty(self):
+        assert merge_sweep_snapshots([{"x": 1}, {"y": 2}]) == empty_snapshot()
+        assert merge_sweep_snapshots([]) == empty_snapshot()
+
+    def test_custom_extractor(self):
+        rows = [{"nested": {"deep": _snap(3)}}]
+        merged = merge_sweep_snapshots(
+            rows, extract=lambda row: [row["nested"]["deep"]]
+        )
+        assert merged["counters"]["c"] == 3.0

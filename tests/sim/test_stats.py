@@ -92,7 +92,8 @@ class TestHistogram:
     def test_empty_histogram(self):
         h = Histogram()
         assert math.isnan(h.mean())
-        assert math.isnan(h.quantile(0.5))
+        assert h.quantile(0.5) is None
+        assert h.median() is None
 
     def test_cdf(self):
         h = Histogram()

@@ -129,3 +129,84 @@ class TestFaultsCommand:
 
         with _pytest.raises(CLIError):
             _parse_params(["=3"])
+
+    @pytest.mark.parametrize("workers", ["0", "-2"])
+    def test_workers_below_one_is_one_line_error(self, workers, capsys):
+        assert main(["faults", "--tiny", "--workers", workers]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --workers must be >= 1")
+        assert workers in err
+        assert err.count("\n") == 1
+
+    def test_metrics_snapshot_merges_arms(self, tmp_path, capsys):
+        out = tmp_path / "faults.json"
+        assert main(
+            ["faults", "--family", "serving", "--tiny",
+             "--param", "num_requests=8", "--param", "horizon_s=8",
+             "--metrics", str(out)]
+        ) == 0
+        from repro.obs import load_snapshot
+
+        snap = load_snapshot(str(out))
+        counters = snap["counters"]
+        assert "sim.events_total{arm=baseline}" in counters
+        assert "sim.events_total{arm=mitigated}" in counters
+
+
+class TestObservabilityFlags:
+    def _serve(self, tmp_path, capsys):
+        metrics = tmp_path / "serve.json"
+        trace = tmp_path / "serve.jsonl"
+        assert main(
+            ["serve", "--duration", "5", "--engines", "1",
+             "--metrics", str(metrics), "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        return metrics, trace
+
+    def test_serve_writes_snapshot_and_trace(self, tmp_path, capsys):
+        metrics, trace = self._serve(tmp_path, capsys)
+        from repro.obs import load_snapshot
+
+        snap = load_snapshot(str(metrics))
+        assert "sim.events_total" in snap["counters"]
+        assert snap["info"]["run.command"] == "serve"
+        header = trace.read_text().splitlines()[0]
+        assert '"trace_schema": "repro.obs.trace/1"' in header
+
+    def test_serve_prometheus_extension(self, tmp_path, capsys):
+        out = tmp_path / "serve.prom"
+        assert main(
+            ["serve", "--duration", "5", "--engines", "1",
+             "--metrics", str(out)]
+        ) == 0
+        text = out.read_text()
+        assert "# TYPE sim.events_total counter" in text
+
+    def test_obs_top_and_spans(self, tmp_path, capsys):
+        metrics, trace = self._serve(tmp_path, capsys)
+        assert main(["obs", "top", str(metrics), "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 counters" in out
+        assert main(["obs", "spans", str(trace)]) == 0
+        assert "process:" in capsys.readouterr().out
+
+    def test_obs_diff_exit_codes(self, tmp_path, capsys):
+        metrics, _trace = self._serve(tmp_path, capsys)
+        assert main(["obs", "diff", str(metrics), str(metrics)]) == 0
+        assert "identical" in capsys.readouterr().out
+        from repro.obs import load_snapshot, write_snapshot
+
+        snap = load_snapshot(str(metrics))
+        name = next(iter(snap["counters"]))
+        snap["counters"][name] += 1
+        other = tmp_path / "other.json"
+        write_snapshot(str(other), snap)
+        assert main(["obs", "diff", str(metrics), str(other)]) == 1
+        assert name in capsys.readouterr().out
+
+    def test_obs_missing_file_is_one_line_error(self, tmp_path, capsys):
+        assert main(["obs", "top", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
