@@ -22,7 +22,15 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
-from repro.units import BITS_PER_BYTE, GiB, PICOJOULE, YEAR
+from repro.units import (
+    BITS_PER_BYTE,
+    GiB,
+    Joules,
+    PICOJOULE,
+    Ratio,
+    Seconds,
+    YEAR,
+)
 
 
 class CellKind(enum.Enum):
@@ -93,15 +101,15 @@ class TechnologyProfile:
 
     name: str
     cell: CellKind
-    retention_s: float
+    retention_s: Seconds
     endurance_cycles: float
-    read_latency_s: float
-    write_latency_s: float
+    read_latency_s: Seconds
+    write_latency_s: Seconds
     read_bandwidth: float
     write_bandwidth: float
     read_energy_j_per_byte: float
     write_energy_j_per_byte: float
-    refresh_interval_s: Optional[float] = None
+    refresh_interval_s: Optional[Seconds] = None
     static_power_w_per_gib: float = 0.0
     byte_addressable: bool = True
     access_granularity_bytes: int = 64  # DDR cache-line burst default
@@ -154,8 +162,8 @@ class AccessResult:
     kind: AccessKind
     address: int
     size_bytes: int
-    latency_s: float
-    energy_j: float
+    latency_s: Seconds
+    energy_j: Joules
 
 
 @dataclass
@@ -169,13 +177,13 @@ class DeviceCounters:
     bytes_read: int = 0
     bytes_written: int = 0
     bytes_refreshed: int = 0
-    read_energy_j: float = 0.0
-    write_energy_j: float = 0.0
-    refresh_energy_j: float = 0.0
-    static_energy_j: float = 0.0
+    read_energy_j: Joules = 0.0
+    write_energy_j: Joules = 0.0
+    refresh_energy_j: Joules = 0.0
+    static_energy_j: Joules = 0.0
 
     @property
-    def total_energy_j(self) -> float:
+    def total_energy_j(self) -> Joules:
         return (
             self.read_energy_j
             + self.write_energy_j
@@ -346,16 +354,16 @@ class MemoryDevice:
     # ------------------------------------------------------------------
     # Timing/energy hooks (subclasses may override)
     # ------------------------------------------------------------------
-    def _read_time(self, size_bytes: int) -> float:
+    def _read_time(self, size_bytes: int) -> Seconds:
         return self.profile.read_latency_s + size_bytes / self.profile.read_bandwidth
 
-    def _write_time(self, size_bytes: int) -> float:
+    def _write_time(self, size_bytes: int) -> Seconds:
         return self.profile.write_latency_s + size_bytes / self.profile.write_bandwidth
 
-    def _read_energy(self, size_bytes: int) -> float:
+    def _read_energy(self, size_bytes: int) -> Joules:
         return size_bytes * self.profile.read_energy_j_per_byte
 
-    def _write_energy(self, size_bytes: int) -> float:
+    def _write_energy(self, size_bytes: int) -> Joules:
         return size_bytes * self.profile.write_energy_j_per_byte
 
     # ------------------------------------------------------------------
@@ -424,14 +432,14 @@ class MemoryDevice:
             return 1.0
         return self.max_wear / mean
 
-    def remaining_lifetime_fraction(self) -> float:
+    def remaining_lifetime_fraction(self) -> Ratio:
         """Fraction of endurance left on the most-worn block."""
         return max(0.0, 1.0 - self.max_wear / self.profile.endurance_cycles)
 
     # ------------------------------------------------------------------
     # Background costs
     # ------------------------------------------------------------------
-    def accrue_static_energy(self, duration_s: float) -> float:
+    def accrue_static_energy(self, duration_s: Seconds) -> Joules:
         """Charge static (leakage/peripheral) power for ``duration_s``."""
         if duration_s < 0:
             raise ValueError("duration must be >= 0")
@@ -443,7 +451,7 @@ class MemoryDevice:
         self.counters.static_energy_j += energy
         return energy
 
-    def accrue_refresh_energy(self, duration_s: float, occupancy: float = 1.0) -> float:
+    def accrue_refresh_energy(self, duration_s: Seconds, occupancy: Ratio = 1.0) -> Joules:
         """Charge refresh energy for ``duration_s`` of wall time.
 
         Volatile devices must rewrite every occupied cell once per

@@ -9,16 +9,16 @@ KV stream) and by tiering policies weighing MRM wear budgets.
 from __future__ import annotations
 
 from repro.devices.base import TechnologyProfile
-from repro.units import DAY, YEAR
+from repro.units import Bytes, DAY, Ratio, Seconds, YEAR
 
 
 def device_lifetime_s(
     profile: TechnologyProfile,
-    capacity_bytes: int,
+    capacity_bytes: Bytes,
     write_rate_bytes_per_s: float,
-    write_amplification: float = 1.0,
-    wear_leveling_efficiency: float = 1.0,
-) -> float:
+    write_amplification: Ratio = 1.0,
+    wear_leveling_efficiency: Ratio = 1.0,
+) -> Seconds:
     """Seconds until the device's rated endurance is consumed.
 
     ``lifetime = endurance * capacity * efficiency / (rate * WA)``:
@@ -39,9 +39,9 @@ def device_lifetime_s(
 
 def sustainable_write_rate(
     profile: TechnologyProfile,
-    capacity_bytes: int,
-    target_lifetime_s: float = 5 * YEAR,
-    write_amplification: float = 1.0,
+    capacity_bytes: Bytes,
+    target_lifetime_s: Seconds = 5 * YEAR,
+    write_amplification: Ratio = 1.0,
 ) -> float:
     """Max bytes/s the device can absorb and still last the target."""
     if target_lifetime_s <= 0:
@@ -58,7 +58,7 @@ def sustainable_write_rate(
 def drive_writes_per_day(
     profile: TechnologyProfile,
     write_rate_bytes_per_s: float,
-    capacity_bytes: int,
+    capacity_bytes: Bytes,
 ) -> float:
     """The storage-industry DWPD figure for a given write stream."""
     if capacity_bytes <= 0:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.tiering.tiers import MemoryTier
-from repro.units import GiB
+from repro.units import Bytes, GiB, Joules, Ratio, Seconds, Watts
 
 
 @dataclass(frozen=True)
@@ -28,18 +28,18 @@ class MemoryEnergyBreakdown:
     """Joules spent by one memory pool over an interval."""
 
     tier: str
-    duration_s: float
-    access_read_j: float
-    access_write_j: float
-    refresh_j: float
-    static_j: float
+    duration_s: Seconds
+    access_read_j: Joules
+    access_write_j: Joules
+    refresh_j: Joules
+    static_j: Joules
 
     @property
-    def total_j(self) -> float:
+    def total_j(self) -> Joules:
         return self.access_read_j + self.access_write_j + self.refresh_j + self.static_j
 
     @property
-    def housekeeping_fraction(self) -> float:
+    def housekeeping_fraction(self) -> Ratio:
         """Fraction of energy not spent moving useful bytes."""
         total = self.total_j
         if total == 0:
@@ -47,7 +47,7 @@ class MemoryEnergyBreakdown:
         return (self.refresh_j + self.static_j) / total
 
     @property
-    def mean_power_w(self) -> float:
+    def mean_power_w(self) -> Watts:
         if self.duration_s <= 0:
             return 0.0
         return self.total_j / self.duration_s
@@ -55,10 +55,10 @@ class MemoryEnergyBreakdown:
 
 def memory_energy(
     tier: MemoryTier,
-    duration_s: float,
-    bytes_read: float,
-    bytes_written: float,
-    occupancy: float = 1.0,
+    duration_s: Seconds,
+    bytes_read: Bytes,
+    bytes_written: Bytes,
+    occupancy: Ratio = 1.0,
 ) -> MemoryEnergyBreakdown:
     """Energy of one tier over an interval of activity.
 
@@ -99,15 +99,15 @@ def memory_energy(
 class AcceleratorEnergyBreakdown:
     """Package-level split: compute die vs memory subsystem."""
 
-    compute_j: float
-    memory_j: float
+    compute_j: Joules
+    memory_j: Joules
 
     @property
-    def total_j(self) -> float:
+    def total_j(self) -> Joules:
         return self.compute_j + self.memory_j
 
     @property
-    def memory_fraction(self) -> float:
+    def memory_fraction(self) -> Ratio:
         total = self.total_j
         if total == 0:
             return 0.0
@@ -116,9 +116,9 @@ class AcceleratorEnergyBreakdown:
 
 def accelerator_energy_split(
     memory_breakdowns: Mapping[str, MemoryEnergyBreakdown],
-    compute_power_w: float,
-    duration_s: float,
-    compute_utilization: float = 1.0,
+    compute_power_w: Watts,
+    duration_s: Seconds,
+    compute_utilization: Ratio = 1.0,
 ) -> AcceleratorEnergyBreakdown:
     """Combine tier energies with compute-die energy over an interval."""
     if compute_power_w < 0 or duration_s < 0:

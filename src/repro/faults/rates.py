@@ -17,7 +17,7 @@ from typing import Dict, Optional
 from repro.devices.base import FaultRateSpec
 from repro.devices.catalog import get_fault_rates
 from repro.faults.events import FaultKind
-from repro.units import GiB, HOUR, YEAR
+from repro.units import Bytes, GiB, HOUR, Ratio, YEAR
 
 #: Per-kind event rates in events per simulated second.
 KindRates = Dict[FaultKind, float]
@@ -25,8 +25,8 @@ KindRates = Dict[FaultKind, float]
 
 def rates_for(
     profile_name: str,
-    capacity_bytes: int,
-    rate_multiplier: float = 1.0,
+    capacity_bytes: Bytes,
+    rate_multiplier: Ratio = 1.0,
     kv_loss_per_hour: float = 0.0,
     spec: Optional[FaultRateSpec] = None,
 ) -> KindRates:

@@ -29,6 +29,7 @@ from typing import Optional, Sequence, Tuple
 from repro.inference.accelerator import AcceleratorConfig
 from repro.inference.roofline import RooflineModel
 from repro.tiering.tiers import MemoryTier
+from repro.units import Ratio, Watts
 from repro.workload.model import ModelConfig
 from repro.workload.phases import decode_step_traffic
 
@@ -49,7 +50,7 @@ class PowerModel:
     """
 
     accelerator: AcceleratorConfig
-    idle_fraction: float = 0.25
+    idle_fraction: Ratio = 0.25
     frequency_power_exponent: float = 2.5
 
     def __post_init__(self) -> None:
@@ -58,7 +59,7 @@ class PowerModel:
         if self.frequency_power_exponent < 1.0:
             raise ValueError("power exponent must be >= 1")
 
-    def compute_power_w(self, utilization: float, frequency: float = 1.0) -> float:
+    def compute_power_w(self, utilization: Ratio, frequency: Ratio = 1.0) -> Watts:
         """Compute-die power at a given utilization and DVFS point."""
         if not 0.0 <= utilization <= 1.0:
             raise ValueError("utilization in [0, 1]")
@@ -79,7 +80,7 @@ class PowerModel:
         tiers: Sequence[MemoryTier],
         read_rates: Sequence[float],
         write_rates: Sequence[float],
-    ) -> float:
+    ) -> Watts:
         """Memory power: per-tier access power plus refresh power."""
         if not (len(tiers) == len(read_rates) == len(write_rates)):
             raise ValueError("one rate pair per tier")
@@ -96,13 +97,13 @@ class PowerModel:
 class OperatingPoint:
     """One DVFS solution under a power cap."""
 
-    frequency: float
+    frequency: Ratio
     tokens_per_s: float
-    compute_power_w: float
-    memory_power_w: float
+    compute_power_w: Watts
+    memory_power_w: Watts
 
     @property
-    def total_power_w(self) -> float:
+    def total_power_w(self) -> Watts:
         return self.compute_power_w + self.memory_power_w
 
     @property
@@ -140,7 +141,7 @@ def best_frequency_under_cap(
     power_model: PowerModel,
     model: ModelConfig,
     tiers: Sequence[MemoryTier],
-    cap_w: float,
+    cap_w: Watts,
     context_tokens: int = 2048,
     batch_size: int = 16,
     tier_name: str = "hbm",
@@ -193,7 +194,7 @@ def power_capped_throughput(
     power_model: PowerModel,
     model: ModelConfig,
     tiers: Sequence[MemoryTier],
-    cap_w: float,
+    cap_w: Watts,
     **kwargs,
 ) -> float:
     """Tokens/s under the cap (0.0 when infeasible)."""

@@ -1,7 +1,8 @@
 """Command-line front end: ``repro-lint`` / ``python -m repro.lint``.
 
 Exit codes: 0 clean (or everything suppressed/baselined), 1 new
-findings, 2 usage or parse errors.
+findings, 2 usage errors, parse errors, or malformed/unknown-id
+suppression pragmas.
 """
 
 from __future__ import annotations
@@ -12,8 +13,9 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.lint.baseline import Baseline, BaselineError, DEFAULT_BASELINE_NAME
-from repro.lint.engine import LintEngine
-from repro.lint.rules import get_rule_classes, rule_catalog
+from repro.lint.engine import AUTO_CACHE_DIR, LintEngine
+from repro.lint.output import OUTPUT_FORMATS, render_json, render_sarif
+from repro.lint.rules import rule_catalog, split_selection
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -94,6 +96,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=OUTPUT_FORMATS,
+        default="text",
+        help="report format (default: text); json and sarif print one "
+        "document to stdout",
+    )
+    parser.add_argument(
+        "--dataflow",
+        dest="dataflow",
+        action="store_true",
+        default=True,
+        help="run the interprocedural dataflow pass, RL012-RL015 (default: on)",
+    )
+    parser.add_argument(
+        "--no-dataflow",
+        dest="dataflow",
+        action="store_false",
+        help="skip the dataflow pass (per-file rules only)",
+    )
+    parser.add_argument(
+        "--dataflow-cache",
+        metavar="DIR",
+        help="summary cache directory (default: <repo-root>/.repro-lint-cache); "
+        "'none' disables caching",
+    )
     return parser
 
 
@@ -116,7 +144,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_CLEAN
 
     try:
-        rule_classes = get_rule_classes(
+        rule_classes, dataflow_ids = split_selection(
             _split_ids(args.select), _split_ids(args.ignore)
         )
     except ValueError as exc:
@@ -124,6 +152,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_USAGE
 
     repo_root = _find_repo_root(Path.cwd())
+
+    cache_dir: object = AUTO_CACHE_DIR
+    if args.dataflow_cache:
+        cache_dir = (
+            None if args.dataflow_cache.lower() == "none"
+            else Path(args.dataflow_cache)
+        )
 
     baseline_path: Optional[Path] = None
     if args.baseline:
@@ -145,12 +180,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             return EXIT_USAGE
 
     engine = LintEngine(
-        rule_classes=rule_classes, baseline=baseline, repo_root=repo_root
+        rule_classes=rule_classes,
+        baseline=baseline,
+        repo_root=repo_root,
+        dataflow=args.dataflow and bool(dataflow_ids),
+        dataflow_rule_ids=dataflow_ids,
+        dataflow_cache_dir=cache_dir,
     )
     result = engine.run([Path(p) for p in args.paths])
 
     for display, error in result.parse_errors:
         print(f"{display}: parse error: {error}", file=sys.stderr)
+    for display, lineno, token in result.suppression_errors:
+        print(
+            f"{display}:{lineno}: bad suppression pragma: "
+            f"unknown or malformed rule id {token!r}",
+            file=sys.stderr,
+        )
 
     if args.write_baseline:
         target = baseline_path or Path(DEFAULT_BASELINE_NAME)
@@ -162,28 +208,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {len(fresh)} finding(s) to {target}")
         return EXIT_CLEAN
 
-    shown = list(result.new)
-    if args.show_baselined:
-        shown += result.baselined
-    for finding in shown:
-        tag = " (baselined)" if finding in result.baselined else ""
-        print(finding.render(show_hint=not args.no_hints) + tag)
-
     failures = result.failures(strict=args.strict)
-    summary = (
-        f"repro-lint: {result.files_checked} file(s), "
-        f"{len(result.new)} new finding(s), "
-        f"{len(result.baselined)} baselined, "
-        f"{len(result.suppressed)} suppressed"
-    )
-    if result.stale_baseline_entries:
-        summary += (
-            f"; {len(result.stale_baseline_entries)} stale baseline "
-            "entry(ies) — prune them"
-        )
-    print(summary)
 
-    if result.parse_errors:
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(result))
+    else:
+        shown = list(result.new)
+        if args.show_baselined:
+            shown += result.baselined
+        for finding in shown:
+            tag = " (baselined)" if finding in result.baselined else ""
+            print(finding.render(show_hint=not args.no_hints) + tag)
+
+        summary = (
+            f"repro-lint: {result.files_checked} file(s), "
+            f"{len(result.new)} new finding(s), "
+            f"{len(result.baselined)} baselined, "
+            f"{len(result.suppressed)} suppressed"
+        )
+        if result.stale_baseline_entries:
+            summary += (
+                f"; {len(result.stale_baseline_entries)} stale baseline "
+                "entry(ies) — prune them"
+            )
+        print(summary)
+        if result.dataflow_stats is not None:
+            stats = result.dataflow_stats
+            print(
+                f"dataflow: {stats.files} file(s) summarized, "
+                f"cache {stats.cache_hits} hit(s) / "
+                f"{stats.cache_misses} miss(es) "
+                f"({stats.hit_rate():.0%} hit rate)"
+            )
+
+    if result.parse_errors or result.suppression_errors:
         return EXIT_USAGE
     return EXIT_FINDINGS if failures else EXIT_CLEAN
 

@@ -5,10 +5,13 @@ Pipeline per run:
 1. discover ``.py`` files under the given paths (skipping junk dirs);
 2. parse each file once and build the repo-wide import graph, from
    which the determinism-critical module set is derived;
-3. run every selected rule over every file;
-4. drop inline-suppressed findings, then split the rest against the
+3. run every selected per-file rule over every file;
+4. run the interprocedural dataflow pass (RL012-RL015) over the same
+   parsed trees, with per-file summaries served from a content-hash
+   cache;
+5. drop inline-suppressed findings, then split the rest against the
    baseline;
-5. report — new ERROR findings (or, under ``--strict``, warnings too)
+6. report — new ERROR findings (or, under ``--strict``, warnings too)
    fail the run.
 """
 
@@ -20,10 +23,16 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Set, Tuple, Type
 
 from repro.lint.baseline import Baseline
+from repro.lint.dataflow import DataflowStats, run_dataflow
+from repro.lint.dataflow.cache import DEFAULT_CACHE_DIR_NAME
 from repro.lint.findings import Finding, Severity, sort_findings
 from repro.lint.imports import ImportGraph, module_name_for
-from repro.lint.rules import Rule, RuleContext, get_rule_classes
+from repro.lint.rules import Rule, RuleContext, all_rule_ids, get_rule_classes
 from repro.lint.suppressions import SuppressionIndex
+
+#: Sentinel: derive the dataflow cache dir from the repo root.  Passing
+#: ``dataflow_cache_dir=None`` explicitly disables on-disk caching.
+AUTO_CACHE_DIR = object()
 
 #: Directories never descended into.
 SKIP_DIRS: Set[str] = {
@@ -67,6 +76,9 @@ class ParsedFile:
     tree: ast.Module
     lines: List[str]
     module: Optional[str]
+    #: Raw source text — the dataflow cache key hashes exactly this, so
+    #: engine runs and standalone ``analyze_tree`` runs share entries.
+    source: str = ""
 
 
 @dataclass
@@ -79,6 +91,11 @@ class LintResult:
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
     files_checked: int = 0
     stale_baseline_entries: List[dict] = field(default_factory=list)
+    #: (path, line, token) for malformed or unknown-id suppression
+    #: pragmas — the CLI turns these into exit code 2.
+    suppression_errors: List[Tuple[str, int, str]] = field(default_factory=list)
+    #: Cache accounting for the dataflow pass (None when disabled).
+    dataflow_stats: Optional[DataflowStats] = None
 
     @property
     def all_findings(self) -> List[Finding]:
@@ -101,10 +118,26 @@ class LintEngine:
         rule_classes: Optional[Sequence[Type[Rule]]] = None,
         baseline: Optional[Baseline] = None,
         repo_root: Optional[Path] = None,
+        dataflow: bool = True,
+        dataflow_rule_ids: Optional[Set[str]] = None,
+        dataflow_cache_dir: object = AUTO_CACHE_DIR,
     ) -> None:
-        self.rule_classes = list(rule_classes or get_rule_classes())
+        # An explicit empty list is a dataflow-only selection, not
+        # "default to everything" — only None means the full registry.
+        self.rule_classes = list(
+            get_rule_classes() if rule_classes is None else rule_classes
+        )
         self.baseline = baseline or Baseline()
         self.repo_root = repo_root
+        self.dataflow = dataflow
+        self.dataflow_rule_ids = dataflow_rule_ids
+        if dataflow_cache_dir is AUTO_CACHE_DIR:
+            dataflow_cache_dir = (
+                repo_root / DEFAULT_CACHE_DIR_NAME if repo_root else None
+            )
+        self.dataflow_cache_dir: Optional[Path] = (
+            Path(dataflow_cache_dir) if dataflow_cache_dir else None  # type: ignore[arg-type]
+        )
 
     # ------------------------------------------------------------------
     # Parsing
@@ -127,6 +160,7 @@ class LintEngine:
                     tree=tree,
                     lines=source.splitlines(),
                     module=module_name_for(path),
+                    source=source,
                 )
             )
         return parsed, errors
@@ -144,7 +178,9 @@ class LintEngine:
         critical = graph.determinism_critical()
 
         result = LintResult(parse_errors=parse_errors, files_checked=len(parsed))
+        known_ids = all_rule_ids()
         raw: List[Finding] = []
+        suppression_index: dict = {}
         for pf in parsed:
             ctx = RuleContext(
                 path=pf.display_path,
@@ -153,13 +189,35 @@ class LintEngine:
                 module=pf.module,
                 determinism_critical=critical,
             )
-            suppressions = SuppressionIndex(pf.lines)
+            suppressions = SuppressionIndex(
+                pf.lines, tree=pf.tree, known_ids=known_ids
+            )
+            suppression_index[pf.display_path] = suppressions
+            for lineno, token in suppressions.errors:
+                result.suppression_errors.append((pf.display_path, lineno, token))
             file_findings: List[Finding] = []
             for rule_cls in self.rule_classes:
                 file_findings.extend(rule_cls().check(ctx))
             kept, suppressed = suppressions.split(file_findings)
             raw.extend(kept)
             result.suppressed.extend(suppressed)
+
+        if self.dataflow:
+            entries = [
+                (pf.display_path, pf.module or "", pf.source, pf.tree)
+                for pf in parsed
+            ]
+            df_findings, result.dataflow_stats = run_dataflow(
+                entries,
+                cache_dir=self.dataflow_cache_dir,
+                rule_ids=self.dataflow_rule_ids,
+            )
+            for finding in df_findings:
+                suppressions = suppression_index.get(finding.path)
+                if suppressions is not None and suppressions.is_suppressed(finding):
+                    result.suppressed.append(finding)
+                else:
+                    raw.append(finding)
 
         new, baselined = self.baseline.split(sort_findings(raw))
         result.new = sort_findings(new)
@@ -173,9 +231,17 @@ def lint_paths(
     rule_classes: Optional[Sequence[Type[Rule]]] = None,
     baseline: Optional[Baseline] = None,
     repo_root: Optional[Path] = None,
+    dataflow: bool = True,
+    dataflow_rule_ids: Optional[Set[str]] = None,
+    dataflow_cache_dir: object = AUTO_CACHE_DIR,
 ) -> LintResult:
     """One-call convenience wrapper used by tests and the CLI."""
     engine = LintEngine(
-        rule_classes=rule_classes, baseline=baseline, repo_root=repo_root
+        rule_classes=rule_classes,
+        baseline=baseline,
+        repo_root=repo_root,
+        dataflow=dataflow,
+        dataflow_rule_ids=dataflow_rule_ids,
+        dataflow_cache_dir=dataflow_cache_dir,
     )
     return engine.run(paths)

@@ -12,7 +12,7 @@ and suppressions keep meaning what they meant.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.lint.rules.base import Rule, RuleContext
 from repro.lint.rules.determinism import (
@@ -44,33 +44,73 @@ RULE_CLASSES: List[Type[Rule]] = [
 ]
 
 
+def all_rule_ids() -> Set[str]:
+    """Every registered id: per-file (RL001-RL011) plus dataflow
+    (RL012-RL015)."""
+    # Imported lazily: dataflow modules use rules.base helpers, so a
+    # top-level import here would be circular.
+    from repro.lint.dataflow.rules import DATAFLOW_RULE_IDS
+
+    return {c.rule_id for c in RULE_CLASSES} | set(DATAFLOW_RULE_IDS)
+
+
+def split_selection(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Tuple[List[Type[Rule]], Set[str]]:
+    """Resolve ``--select`` / ``--ignore`` across both rule families.
+
+    Returns ``(per_file_rule_classes, dataflow_rule_ids)``.  Unknown ids
+    in either list raise ``ValueError`` — a typo'd ``--select RL013``
+    silently matching nothing would defeat the point of selecting.
+    """
+    from repro.lint.dataflow.rules import DATAFLOW_RULE_IDS
+
+    known = all_rule_ids()
+    wanted = {s.upper() for s in select} if select else None
+    dropped = {s.upper() for s in ignore} if ignore else set()
+    for ids, flag in ((wanted or set(), "--select"), (dropped, "--ignore")):
+        unknown = ids - known
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+    classes = [
+        c
+        for c in RULE_CLASSES
+        if (wanted is None or c.rule_id in wanted) and c.rule_id not in dropped
+    ]
+    dataflow_ids = {
+        rid
+        for rid in DATAFLOW_RULE_IDS
+        if (wanted is None or rid in wanted) and rid not in dropped
+    }
+    return classes, dataflow_ids
+
+
 def get_rule_classes(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Type[Rule]]:
-    """The registry filtered by ``--select`` / ``--ignore`` id lists."""
-    classes = list(RULE_CLASSES)
-    if select:
-        wanted = {s.upper() for s in select}
-        unknown = wanted - {c.rule_id for c in classes}
-        if unknown:
-            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
-        classes = [c for c in classes if c.rule_id in wanted]
-    if ignore:
-        dropped = {s.upper() for s in ignore}
-        classes = [c for c in classes if c.rule_id not in dropped]
+    """The per-file registry filtered by ``--select`` / ``--ignore``."""
+    classes, _ = split_selection(select, ignore)
     return classes
 
 
 def rule_catalog() -> Dict[str, str]:
-    """``{rule_id: summary}`` for ``--list-rules`` and the docs test."""
-    return {cls.rule_id: cls.summary for cls in RULE_CLASSES}
+    """``{rule_id: summary}`` for ``--list-rules`` and the docs test,
+    covering both per-file and dataflow rules."""
+    from repro.lint.dataflow.rules import dataflow_catalog
+
+    catalog = {cls.rule_id: cls.summary for cls in RULE_CLASSES}
+    catalog.update(dataflow_catalog())
+    return dict(sorted(catalog.items()))
 
 
 __all__ = [
     "Rule",
     "RuleContext",
     "RULE_CLASSES",
+    "all_rule_ids",
     "get_rule_classes",
     "rule_catalog",
+    "split_selection",
 ]

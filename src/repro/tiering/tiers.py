@@ -19,7 +19,7 @@ from typing import Optional
 from repro.core.retention import RetentionModel, RetentionParams
 from repro.devices.base import TechnologyProfile
 from repro.devices.catalog import HBM3E, LPDDR5X, NAND_SLC, RRAM_POTENTIAL
-from repro.units import GiB, HOUR, TiB
+from repro.units import Bytes, GiB, HOUR, Joules, Ratio, TiB, Watts
 
 
 @dataclass(frozen=True)
@@ -59,13 +59,13 @@ class MemoryTier:
     def cost_per_gib(self) -> float:
         return self.cost_usd / (self.capacity_bytes / GiB)
 
-    def read_energy_j(self, size_bytes: float) -> float:
+    def read_energy_j(self, size_bytes: Bytes) -> Joules:
         return size_bytes * self.profile.read_energy_j_per_byte
 
-    def write_energy_j(self, size_bytes: float) -> float:
+    def write_energy_j(self, size_bytes: Bytes) -> Joules:
         return size_bytes * self.profile.write_energy_j_per_byte
 
-    def refresh_power_w(self, occupancy: float = 1.0) -> float:
+    def refresh_power_w(self, occupancy: Ratio = 1.0) -> Watts:
         """Steady-state refresh power (0 for non-volatile tiers)."""
         if not self.profile.volatile:
             return 0.0

@@ -48,6 +48,25 @@ KILOWATT = 1e3
 MEGAWATT = 1e6
 KWH = 3.6e6  # joules in a kilowatt-hour
 
+# ---------------------------------------------------------------------------
+# Quantity annotation aliases
+# ---------------------------------------------------------------------------
+# Plain type aliases that document what dimension a parameter, return
+# value, or dataclass field carries.  They cost nothing at runtime, and
+# repro-lint's dataflow pass (RL012/RL013) reads them as ground truth
+# when checking values that flow across function boundaries:
+#
+#     def decay_after(dwell: Seconds, capacity: Bytes) -> Ratio: ...
+#
+# Byte counts are float because expectation-based models routinely
+# produce fractional bytes; Count stays int (whole things).
+Bytes = float
+Seconds = float
+Joules = float
+Watts = float
+Ratio = float
+Count = int
+
 
 def bytes_to_human(n: float) -> str:
     """Render a byte count with a binary suffix: ``bytes_to_human(3*GiB)``

@@ -1,0 +1,154 @@
+"""The dataflow summary cache: correctness, invalidation, and the
+warm-run speedup the incremental design exists for."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.lint.dataflow import analyze_tree
+from repro.lint.dataflow.cache import SummaryCache, summary_key
+from repro.lint.dataflow.extract import extract_summary
+from repro.lint.dataflow.model import DATAFLOW_SCHEMA
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SOURCE = "from repro.units import GiB\n\ndef cap_bytes():\n    return 2 * GiB\n"
+
+
+def make_summary():
+    return extract_summary("repro/m.py", "repro.m", SOURCE)
+
+
+class TestSummaryKey:
+    def test_key_changes_with_source(self):
+        a = summary_key(SOURCE, "repro.m", "repro/m.py")
+        b = summary_key(SOURCE + "\n# touched\n", "repro.m", "repro/m.py")
+        assert a != b
+
+    def test_key_changes_with_module_and_path(self):
+        a = summary_key(SOURCE, "repro.m", "repro/m.py")
+        assert a != summary_key(SOURCE, "repro.other", "repro/m.py")
+        assert a != summary_key(SOURCE, "repro.m", "repro/other.py")
+
+    def test_key_is_stable(self):
+        assert summary_key(SOURCE, "repro.m", "repro/m.py") == summary_key(
+            SOURCE, "repro.m", "repro/m.py"
+        )
+
+
+class TestSummaryCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = SummaryCache(tmp_path)
+        key = summary_key(SOURCE, "repro.m", "repro/m.py")
+        cache.put(key, make_summary())
+        fresh = SummaryCache(tmp_path)
+        assert fresh.get(key) == make_summary()
+        assert fresh.hits == 1 and fresh.misses == 0
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = SummaryCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SummaryCache(tmp_path)
+        key = summary_key(SOURCE, "repro.m", "repro/m.py")
+        cache.put(key, make_summary())
+        entry = tmp_path / key[:2] / f"{key}.json"
+        entry.write_text("{truncated")
+        fresh = SummaryCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.misses == 1
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = SummaryCache(tmp_path)
+        key = summary_key(SOURCE, "repro.m", "repro/m.py")
+        cache.put(key, make_summary())
+        entry = tmp_path / key[:2] / f"{key}.json"
+        payload = json.loads(entry.read_text())
+        payload["schema"] = DATAFLOW_SCHEMA + 1
+        entry.write_text(json.dumps(payload))
+        fresh = SummaryCache(tmp_path)
+        assert fresh.get(key) is None
+
+    def test_none_directory_disables_persistence(self):
+        cache = SummaryCache(None)
+        key = summary_key(SOURCE, "repro.m", "repro/m.py")
+        cache.put(key, make_summary())
+        assert cache.get(key) is None
+        assert cache.hit_rate() == 0.0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = SummaryCache(tmp_path)
+        key = summary_key(SOURCE, "repro.m", "repro/m.py")
+        cache.put(key, make_summary())
+        leftovers = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+
+class TestIncrementalRuns:
+    def test_edit_invalidates_only_the_edited_file(self, tmp_path):
+        tree = tmp_path / "repro"
+        tree.mkdir()
+        (tree / "a.py").write_text("def f_bytes():\n    return 1\n")
+        (tree / "b.py").write_text("def g_bytes():\n    return 2\n")
+        cache_dir = tmp_path / "cache"
+        analyze_tree([tree], cache_dir=cache_dir, repo_root=tmp_path)
+        (tree / "a.py").write_text("def f_bytes():\n    return 3\n")
+        _, stats = analyze_tree([tree], cache_dir=cache_dir, repo_root=tmp_path)
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+
+    def test_warm_run_under_quarter_of_cold(self, tmp_path):
+        """The acceptance bound: a warm-cache dataflow pass over the
+        real src/repro tree must cost < 25% of the cold pass (it skips
+        parsing and every AST walk, so in practice it is far below)."""
+        src = REPO_ROOT / "src" / "repro"
+        assert src.is_dir()
+        cache_dir = tmp_path / "cache"
+
+        start = time.perf_counter()
+        _, cold_stats = analyze_tree([src], cache_dir=cache_dir, repo_root=REPO_ROOT)
+        cold = time.perf_counter() - start
+        assert cold_stats.cache_hits == 0
+        assert cold_stats.cache_misses == cold_stats.files
+
+        start = time.perf_counter()
+        warm_findings, warm_stats = analyze_tree(
+            [src], cache_dir=cache_dir, repo_root=REPO_ROOT
+        )
+        warm = time.perf_counter() - start
+        assert warm_stats.cache_hits == warm_stats.files
+        assert warm_stats.cache_misses == 0
+        assert warm_stats.hit_rate() == 1.0
+        assert warm < 0.25 * cold, (
+            f"warm dataflow run took {warm:.3f}s vs cold {cold:.3f}s "
+            f"({warm / cold:.0%}); the summary cache is not paying off"
+        )
+
+    def test_warm_and_cold_findings_agree(self, tmp_path):
+        tree = tmp_path / "repro"
+        tree.mkdir()
+        (tree / "helpers.py").write_text(
+            "from repro.units import GiB\n\n"
+            "def reserved_bytes():\n    return 2 * GiB\n"
+        )
+        (tree / "driver.py").write_text(
+            "from repro.helpers import reserved_bytes\n"
+            "from repro.units import GB\n\n"
+            "def total():\n    return reserved_bytes() + 4 * GB\n"
+        )
+        cache_dir = tmp_path / "cache"
+        cold_findings, _ = analyze_tree(
+            [tree], cache_dir=cache_dir, repo_root=tmp_path
+        )
+        warm_findings, stats = analyze_tree(
+            [tree], cache_dir=cache_dir, repo_root=tmp_path
+        )
+        assert stats.hit_rate() == 1.0
+        assert [f.render() for f in warm_findings] == [
+            f.render() for f in cold_findings
+        ]
+        assert [f.rule_id for f in warm_findings] == ["RL013"]

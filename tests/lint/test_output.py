@@ -1,0 +1,106 @@
+"""Machine-readable report formats: ``--format json`` and ``--format
+sarif``."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.baseline import Baseline
+from repro.lint.cli import EXIT_FINDINGS, main
+from repro.lint.output import render_json, render_sarif
+from repro.lint.rules import rule_catalog
+
+
+def write(tmp_path: Path, relpath: str, source: str) -> Path:
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return target
+
+
+MIXED = textwrap.dedent(
+    """\
+    import random
+    x = random.random()
+    y = random.random()  # repro-lint: disable=RL003 -- fixture
+    """
+)
+
+
+def mixed_result(tmp_path):
+    write(tmp_path, "repro/m.py", MIXED)
+    first = lint_paths([tmp_path], repo_root=tmp_path)
+    baseline = Baseline.from_findings(first.new[:1], justification="legacy")
+    write(tmp_path, "repro/m.py", MIXED + "\nz = random.random()\n")
+    return lint_paths([tmp_path], baseline=baseline, repo_root=tmp_path)
+
+
+class TestJsonFormat:
+    def test_partitions_and_fields(self, tmp_path):
+        result = mixed_result(tmp_path)
+        payload = json.loads(render_json(result))
+        statuses = sorted(f["status"] for f in payload["findings"])
+        assert statuses == ["baselined", "new", "suppressed"]
+        finding = payload["findings"][0]
+        for key in ("rule_id", "path", "line", "col", "message", "fingerprint"):
+            assert key in finding
+        assert payload["files_checked"] == 1
+        assert payload["dataflow"]["files"] == 1
+
+    def test_output_is_deterministic(self, tmp_path):
+        result = mixed_result(tmp_path)
+        assert render_json(result) == render_json(result)
+
+    def test_cli_emits_parseable_json(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, "repro/m.py", "import random\nx = random.random()\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["--format", "json", str(tmp_path)]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-lint"
+        assert [f["rule_id"] for f in payload["findings"]] == ["RL003"]
+
+
+class TestSarifFormat:
+    def test_valid_sarif_skeleton(self, tmp_path):
+        result = mixed_result(tmp_path)
+        payload = json.loads(render_sarif(result))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_ids == set(rule_catalog())
+
+    def test_results_carry_location_and_fingerprint(self, tmp_path):
+        result = mixed_result(tmp_path)
+        payload = json.loads(render_sarif(result))
+        results = payload["runs"][0]["results"]
+        assert len(results) == 3
+        for entry in results:
+            location = entry["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith("repro/m.py")
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+            assert entry["partialFingerprints"]["reproLint/v1"]
+
+    def test_baselined_and_suppressed_are_marked(self, tmp_path):
+        result = mixed_result(tmp_path)
+        payload = json.loads(render_sarif(result))
+        results = payload["runs"][0]["results"]
+        kinds = sorted(
+            entry["suppressions"][0]["kind"]
+            for entry in results
+            if "suppressions" in entry
+        )
+        assert kinds == ["external", "inSource"]
+        unsuppressed = [e for e in results if "suppressions" not in e]
+        assert len(unsuppressed) == 1
+
+    def test_cli_emits_parseable_sarif(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, "repro/m.py", "import random\nx = random.random()\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["--format", "sarif", str(tmp_path)]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"]
