@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.tiering.tiers import MemoryTier
+from repro.lint.effects.contracts import declared_pure
 from repro.units import Bytes, GiB, Joules, Ratio, Seconds, Watts
 
 
@@ -53,6 +54,7 @@ class MemoryEnergyBreakdown:
         return self.total_j / self.duration_s
 
 
+@declared_pure
 def memory_energy(
     tier: MemoryTier,
     duration_s: Seconds,
@@ -114,6 +116,7 @@ class AcceleratorEnergyBreakdown:
         return self.memory_j / total
 
 
+@declared_pure
 def accelerator_energy_split(
     memory_breakdowns: Mapping[str, MemoryEnergyBreakdown],
     compute_power_w: Watts,

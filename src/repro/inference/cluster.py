@@ -213,10 +213,12 @@ class Cluster:
         requests = sum(s.requests_completed for s in summaries)
         tier_reads: Dict[str, float] = {}
         tier_writes: Dict[str, float] = {}
+        # Sorted tier order: engines may record tiers in different
+        # insertion orders, and float addition is not associative.
         for summary in summaries:
-            for tier, value in summary.tier_bytes_read.items():
+            for tier, value in sorted(summary.tier_bytes_read.items()):
                 tier_reads[tier] = tier_reads.get(tier, 0.0) + value
-            for tier, value in summary.tier_bytes_written.items():
+            for tier, value in sorted(summary.tier_bytes_written.items()):
                 tier_writes[tier] = tier_writes.get(tier, 0.0) + value
         memory_steps = sum(s.memory_bound_steps for s in summaries)
         compute_steps = sum(s.compute_bound_steps for s in summaries)

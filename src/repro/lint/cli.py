@@ -8,11 +8,14 @@ suppression pragmas.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.lint.baseline import Baseline, BaselineError, DEFAULT_BASELINE_NAME
+from repro.lint.dataflow.rules import DATAFLOW_RULE_IDS
+from repro.lint.effects.rules import EFFECTS_RULE_IDS
 from repro.lint.engine import AUTO_CACHE_DIR, LintEngine
 from repro.lint.output import OUTPUT_FORMATS, render_json, render_sarif
 from repro.lint.rules import rule_catalog, split_selection
@@ -122,6 +125,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="summary cache directory (default: <repo-root>/.repro-lint-cache); "
         "'none' disables caching",
     )
+    parser.add_argument(
+        "--effects",
+        dest="effects",
+        action="store_true",
+        default=True,
+        help="run the effect-inference pass, RL016-RL019 (default: on)",
+    )
+    parser.add_argument(
+        "--no-effects",
+        dest="effects",
+        action="store_false",
+        help="skip the effects pass (and the kernel-readiness report)",
+    )
+    parser.add_argument(
+        "--effects-report",
+        metavar="FILE",
+        help="write the kernel-readiness report JSON to FILE "
+        "(requires the effects pass; parent directory must exist)",
+    )
     return parser
 
 
@@ -144,12 +166,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_CLEAN
 
     try:
-        rule_classes, dataflow_ids = split_selection(
+        rule_classes, inter_ids = split_selection(
             _split_ids(args.select), _split_ids(args.ignore)
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    dataflow_ids = {i for i in inter_ids if i in DATAFLOW_RULE_IDS}
+    effects_ids = {i for i in inter_ids if i in EFFECTS_RULE_IDS}
+
+    report_path: Optional[Path] = None
+    if args.effects_report:
+        if not args.effects:
+            print(
+                "error: --effects-report requires the effects pass "
+                "(drop --no-effects)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        report_path = Path(args.effects_report)
+        if report_path.is_dir():
+            print(
+                f"error: --effects-report target {report_path} is a directory",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        if not report_path.parent.is_dir():
+            print(
+                f"error: --effects-report parent directory "
+                f"{report_path.parent} does not exist",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
 
     repo_root = _find_repo_root(Path.cwd())
 
@@ -186,8 +234,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         dataflow=args.dataflow and bool(dataflow_ids),
         dataflow_rule_ids=dataflow_ids,
         dataflow_cache_dir=cache_dir,
+        effects=args.effects and bool(effects_ids),
+        effects_rule_ids=effects_ids,
     )
     result = engine.run([Path(p) for p in args.paths])
+
+    if report_path is not None and result.effects_report is not None:
+        report_path.write_text(
+            json.dumps(result.effects_report, indent=2, sort_keys=False)
+            + "\n",
+            encoding="utf-8",
+        )
 
     for display, error in result.parse_errors:
         print(f"{display}: parse error: {error}", file=sys.stderr)
@@ -241,6 +298,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"cache {stats.cache_hits} hit(s) / "
                 f"{stats.cache_misses} miss(es) "
                 f"({stats.hit_rate():.0%} hit rate)"
+            )
+        if result.effects_stats is not None:
+            estats = result.effects_stats
+            print(
+                f"effects: {estats.files} file(s) summarized, "
+                f"cache {estats.cache_hits} hit(s) / "
+                f"{estats.cache_misses} miss(es) "
+                f"({estats.hit_rate():.0%} hit rate), "
+                f"{estats.hot_functions} hot-path function(s)"
             )
 
     if result.parse_errors or result.suppression_errors:

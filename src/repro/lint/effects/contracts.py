@@ -1,0 +1,68 @@
+"""The ``@declared_pure`` contract registry.
+
+A function marked ``@declared_pure`` promises: no writes to module or
+object state, no RNG draws, no I/O — calling it any number of times,
+in any order, with the same arguments produces the same result and
+changes nothing.  The marker is a runtime no-op (one attribute set at
+import time, zero per-call overhead); its value is that the effects
+layer of ``repro-lint`` *checks* the promise whole-program (RL017):
+if a decorated function reaches hidden state mutation through any call
+chain, the lint fails.
+
+This turns purity from a convention into a machine-checked contract,
+which is what makes the ROADMAP item 2 kernel refactor safe to plan
+against: every ``@declared_pure`` function is a candidate for batched
+(vectorised) evaluation with no ordering concerns.
+
+Usage::
+
+    from repro.lint.effects.contracts import declared_pure
+
+    @declared_pure
+    def refresh_power_w(capacity_bytes: int, retention_s: float) -> float:
+        ...
+
+The registry (:func:`declared_pure_functions`) records the runtime
+qualnames of every decorated function, so tooling can cross-check the
+static view against what actually got imported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Runtime registry: ``module.qualname`` of every decorated function.
+_REGISTRY: Set[str] = set()
+
+#: Attribute set on decorated functions (introspectable at runtime).
+PURE_ATTRIBUTE = "__repro_declared_pure__"
+
+
+def declared_pure(func: Optional[_F] = None, *, reason: str = "") -> Callable:
+    """Mark ``func`` as side-effect free (checked statically by RL017).
+
+    Usable bare (``@declared_pure``) or with an optional documentation
+    string (``@declared_pure(reason="closed-form energy model")``).
+    The wrapper returns ``func`` unchanged — no call-time indirection.
+    """
+
+    def mark(fn: _F) -> _F:
+        setattr(fn, PURE_ATTRIBUTE, True)
+        _REGISTRY.add(f"{fn.__module__}.{fn.__qualname__}")
+        return fn
+
+    if func is None:
+        return mark
+    return mark(func)
+
+
+def is_declared_pure(func: Callable) -> bool:
+    """True when ``func`` carries the purity marker."""
+    return bool(getattr(func, PURE_ATTRIBUTE, False))
+
+
+def declared_pure_functions() -> Set[str]:
+    """A copy of the runtime registry (imported modules only)."""
+    return set(_REGISTRY)

@@ -1,0 +1,149 @@
+"""The kernel-readiness report: the work-list for ROADMAP item 2.
+
+The report enumerates every function reachable from the hot dispatch
+roots — the ``sim/kernel.py`` event loop (kernel, events, process
+machinery), every sim-process generator, and the
+``inference/engine.py`` dispatch — over the attribute-typed call
+graph, attaches each function's inferred effect signature, and ranks
+by **blocker count**: the number of properties that stand between that
+function and a struct-of-arrays batched (vectorised) form.
+
+The report is deliberately timestamp-free and fully sorted, so the
+committed copy (``results/effects_report.json``) is diff-stable: it
+only changes when the code's effect structure changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set
+
+from repro.lint.effects.infer import (
+    EffectSignature,
+    EffectsProgram,
+    PURITY_FLAGS,
+    cause_chain,
+)
+
+#: Schema tag the report carries; bump on shape changes.
+REPORT_SCHEMA = "repro-lint-effects/1"
+
+#: Module prefixes that constitute the sim event loop itself.
+KERNEL_MODULE_PREFIXES = (
+    "repro.sim.kernel.",
+    "repro.sim.events.",
+    "repro.sim.process.",
+)
+
+#: Module prefix of the inference serving dispatch.
+INFERENCE_DISPATCH_PREFIX = "repro.inference.engine."
+
+#: Blocker labels, in severity order for the report.
+BLOCKER_MUTATES = "mutates_shared_state"
+BLOCKER_ORDER = "order_sensitive_accumulation"
+BLOCKER_RNG = "rng_draw"
+BLOCKER_IO = "io"
+BLOCKER_CLOSURE = "closure_capture"
+BLOCKER_YIELDS = "yields"
+
+
+def hot_roots(effects_program: EffectsProgram) -> Dict[str, List[str]]:
+    """The dispatch roots, grouped: kernel machinery, sim processes,
+    inference dispatch.  ``<module>`` pseudo-functions are excluded."""
+    kernel: List[str] = []
+    processes: List[str] = []
+    inference: List[str] = []
+    known = set(effects_program.effects) | set(
+        effects_program.program.functions
+    )
+    for qualname in sorted(known):
+        if qualname.endswith(".<module>"):
+            continue
+        if qualname.startswith(KERNEL_MODULE_PREFIXES):
+            kernel.append(qualname)
+        elif qualname.startswith(INFERENCE_DISPATCH_PREFIX):
+            inference.append(qualname)
+        fn = effects_program.program.functions.get(qualname)
+        if fn is not None and fn.is_sim_process:
+            processes.append(qualname)
+    return {
+        "sim_kernel": kernel,
+        "sim_processes": sorted(set(processes)),
+        "inference_dispatch": inference,
+    }
+
+
+def hot_closure(effects_program: EffectsProgram) -> Set[str]:
+    """Every function transitively reachable from the hot roots."""
+    roots = hot_roots(effects_program)
+    seeds: Set[str] = set()
+    for group in roots.values():
+        seeds |= set(group)
+    return effects_program.reachable_from(seeds)
+
+
+def _blockers(sig: EffectSignature) -> List[str]:
+    out: List[str] = []
+    if sig.writes_global or sig.writes_self or sig.writes_param:
+        out.append(BLOCKER_MUTATES)
+    if sig.order_sensitive or sig.float_accum_shared:
+        out.append(BLOCKER_ORDER)
+    if sig.rng:
+        out.append(BLOCKER_RNG)
+    if sig.io:
+        out.append(BLOCKER_IO)
+    if sig.closure:
+        out.append(BLOCKER_CLOSURE)
+    if sig.yields:
+        out.append(BLOCKER_YIELDS)
+    return out
+
+
+def build_report(
+    effects_program: EffectsProgram,
+    sigs: Dict[str, EffectSignature],
+) -> Dict[str, Any]:
+    """The machine-readable kernel-readiness report (JSON-shaped)."""
+    roots = hot_roots(effects_program)
+    closure = hot_closure(effects_program)
+    entries: List[Dict[str, Any]] = []
+    for qualname in sorted(closure):
+        if qualname.endswith(".<module>"):
+            continue
+        sig = sigs.get(qualname)
+        if sig is None:
+            continue
+        fn = effects_program.effects.get(qualname)
+        blockers = _blockers(sig)
+        causes: Dict[str, str] = {}
+        for flag in PURITY_FLAGS + ("float_accum_shared",):
+            if getattr(sig, flag):
+                causes[flag] = cause_chain(sigs, qualname, flag)
+        entries.append(
+            {
+                "qualname": qualname,
+                "path": effects_program.path_of.get(qualname, ""),
+                "line": fn.lineno if fn is not None else 0,
+                "signature": sig.flags(),
+                "pure": sig.pure,
+                "blockers": blockers,
+                "blocker_count": len(blockers),
+                "causes": causes,
+            }
+        )
+    entries.sort(key=lambda e: (-e["blocker_count"], e["qualname"]))
+
+    by_blocker: Dict[str, int] = {}
+    for entry in entries:
+        for blocker in entry["blockers"]:
+            by_blocker[blocker] = by_blocker.get(blocker, 0) + 1
+    return {
+        "schema": REPORT_SCHEMA,
+        "roots": roots,
+        "hot_functions": entries,
+        "summary": {
+            "hot_functions": len(entries),
+            "pure": sum(1 for e in entries if e["pure"]),
+            "with_blockers": sum(1 for e in entries if e["blocker_count"]),
+            "by_blocker": dict(sorted(by_blocker.items())),
+        },
+    }

@@ -1,0 +1,313 @@
+"""The effect rules: RL016-RL019.
+
+Each checker consumes the inferred whole-program signatures and yields
+:class:`~repro.lint.findings.Finding` objects anchored where a human
+would edit.  Functions are visited in sorted qualname order, so
+reports are deterministic.
+
+- **RL016** (ERROR) — order-sensitive float reduction: a float
+  accumulation whose enclosing loop iterates in dict/set order, either
+  directly or by calling (possibly transitively) a function that
+  accumulates floats into shared state.  Float addition is not
+  associative; iteration order that is not canonical silently breaks
+  the serial≡parallel bit-identity guarantees.  Scoped to
+  determinism-critical modules (the ``repro.sim`` import closure,
+  which covers obs, parallel and tiering).
+- **RL017** (ERROR) — a ``@declared_pure`` function whose inferred
+  signature shows state writes, RNG draws, or I/O — directly or
+  through any call chain.
+- **RL018** (ERROR) — shared-mutable-default hazards: a sim-process
+  parameter with a mutable default (the default is created once and
+  aliased by every process instance), or any function that mutates its
+  own mutable default.
+- **RL019** (WARNING) — vectorization blocker: a function reachable
+  from the hot dispatch paths (``sim/kernel.py`` event loop, sim
+  processes, ``inference/engine.py``) that closes over per-event
+  Python state — incompatible with a struct-of-arrays batch form, and
+  therefore work-list material for the ROADMAP item 2 kernel refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.effects.infer import (
+    EffectSignature,
+    EffectsProgram,
+    PURITY_FLAGS,
+    cause_chain,
+)
+from repro.lint.effects.model import UNSTABLE_ORDERS
+from repro.lint.findings import Finding, Severity, sort_findings
+
+EFFECTS_RULE_IDS: Tuple[str, ...] = ("RL016", "RL017", "RL018", "RL019")
+
+_SUMMARIES: Dict[str, str] = {
+    "RL016": (
+        "order-sensitive float reduction: floats accumulated over dict/set-"
+        "ordered iteration (directly or through callees) — non-associative "
+        "addition makes the result depend on iteration order, breaking "
+        "serial/parallel bit-identity"
+    ),
+    "RL017": (
+        "hidden effect in a @declared_pure function: the inferred whole-"
+        "program signature shows state writes, RNG draws, or I/O reachable "
+        "through its call chains"
+    ),
+    "RL018": (
+        "shared-mutable-default hazard: a sim-process parameter defaults to "
+        "a mutable object, or a function mutates its own mutable default — "
+        "state leaks across calls/instances"
+    ),
+    "RL019": (
+        "vectorization blocker: a hot-path function (sim kernel / inference "
+        "dispatch closure) captures per-event Python state in a closure — "
+        "incompatible with struct-of-arrays batching (ROADMAP item 2)"
+    ),
+}
+
+_FLAG_LABELS: Dict[str, str] = {
+    "writes_global": "writes module state",
+    "writes_self": "mutates object state",
+    "writes_param": "mutates a parameter",
+    "rng": "draws from an RNG",
+    "io": "performs I/O",
+}
+
+
+def effects_catalog() -> Dict[str, str]:
+    """``{rule_id: summary}`` merged into ``--list-rules``."""
+    return dict(_SUMMARIES)
+
+
+def _finding(
+    rule_id: str,
+    severity: Severity,
+    path: str,
+    lineno: int,
+    col: int,
+    message: str,
+    fix_hint: str = "",
+) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        severity=severity,
+        path=path,
+        line=lineno,
+        col=col,
+        message=message,
+        fix_hint=fix_hint or f"or suppress: # repro-lint: disable={rule_id}",
+    )
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+def _in_scope(
+    effects_program: EffectsProgram,
+    qualname: str,
+    critical_modules: Optional[Set[str]],
+) -> bool:
+    """RL016 scope: determinism-critical modules only (None = no gate,
+    used by standalone/fixture runs; unknown modules stay in scope)."""
+    if critical_modules is None:
+        return True
+    module = effects_program.module_of.get(qualname, "")
+    if not module:
+        return True
+    return module in critical_modules
+
+
+# ---------------------------------------------------------------------------
+# RL016 — order-sensitive float reduction
+# ---------------------------------------------------------------------------
+def check_order_sensitive_reductions(
+    effects_program: EffectsProgram,
+    sigs: Dict[str, EffectSignature],
+    critical_modules: Optional[Set[str]],
+) -> Iterator[Finding]:
+    program = effects_program.program
+    for qualname in sorted(effects_program.effects):
+        if not _in_scope(effects_program, qualname, critical_modules):
+            continue
+        fn = effects_program.effects[qualname]
+        path = effects_program.path_of.get(qualname, "")
+        flagged_lines: Set[int] = set()
+        for accum in fn.float_accums:
+            if accum.iter_order not in UNSTABLE_ORDERS:
+                continue
+            flagged_lines.add(accum.lineno)
+            yield _finding(
+                "RL016",
+                Severity.ERROR,
+                path,
+                accum.lineno,
+                accum.col,
+                f"order-sensitive float reduction: {accum.target} "
+                f"accumulates ({accum.evidence}) over {accum.iter_text} "
+                f"({accum.iter_order}) — float addition is not associative, "
+                "so the result depends on iteration order",
+                "iterate in canonical order (sorted(...)) or accumulate "
+                "order-insensitively (integers, exact merges)",
+            )
+        for loop_call in fn.loop_calls:
+            if loop_call.lineno in flagged_lines:
+                continue
+            resolved = program.resolve(loop_call.callee)
+            target = resolved
+            if resolved in program.classes:
+                target = f"{resolved}.__init__"
+            callee_sig = sigs.get(target)
+            if callee_sig is None or not callee_sig.float_accum_shared:
+                continue
+            chain = cause_chain(sigs, target, "float_accum_shared")
+            yield _finding(
+                "RL016",
+                Severity.ERROR,
+                path,
+                loop_call.lineno,
+                loop_call.col,
+                f"order-sensitive float reduction: loop over "
+                f"{loop_call.iter_text} ({loop_call.iter_order}) calls "
+                f"{loop_call.callee_text}(), which accumulates floats into "
+                f"shared state [{chain}]",
+                "iterate in canonical order (sorted(...)) so the shared "
+                "accumulation happens in a reproducible order",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RL017 — hidden effects behind @declared_pure
+# ---------------------------------------------------------------------------
+def check_declared_pure(
+    effects_program: EffectsProgram,
+    sigs: Dict[str, EffectSignature],
+) -> Iterator[Finding]:
+    for qualname in sorted(effects_program.effects):
+        fn = effects_program.effects[qualname]
+        if not fn.declared_pure:
+            continue
+        sig = sigs.get(qualname)
+        if sig is None or sig.pure:
+            continue
+        path = effects_program.path_of.get(qualname, "")
+        causes = []
+        for flag in PURITY_FLAGS:
+            if getattr(sig, flag):
+                causes.append(
+                    f"{_FLAG_LABELS[flag]} "
+                    f"[{cause_chain(sigs, qualname, flag)}]"
+                )
+        yield _finding(
+            "RL017",
+            Severity.ERROR,
+            path,
+            fn.lineno,
+            fn.col,
+            f"{_short(qualname)} is @declared_pure but its inferred effect "
+            f"signature is impure: {'; '.join(causes)}",
+            "make the function pure (return instead of mutate) or remove "
+            "the @declared_pure marker",
+        )
+
+
+# ---------------------------------------------------------------------------
+# RL018 — shared-mutable-default hazards
+# ---------------------------------------------------------------------------
+def check_mutable_defaults(
+    effects_program: EffectsProgram,
+) -> Iterator[Finding]:
+    program = effects_program.program
+    for qualname in sorted(effects_program.effects):
+        fn = effects_program.effects[qualname]
+        if not fn.mutable_defaults:
+            continue
+        path = effects_program.path_of.get(qualname, "")
+        df_fn = program.functions.get(qualname)
+        is_sim_process = bool(df_fn is not None and df_fn.is_sim_process)
+        mutated_params = {
+            m.root for m in fn.mutations if m.kind == "param"
+        }
+        for default in fn.mutable_defaults:
+            if is_sim_process:
+                yield _finding(
+                    "RL018",
+                    Severity.ERROR,
+                    path,
+                    default.lineno,
+                    default.col,
+                    f"sim process {_short(qualname)} parameter "
+                    f"{default.param!r} defaults to a shared mutable "
+                    f"{default.kind} — every process instance aliases the "
+                    "same object, so state leaks across processes and runs",
+                    "default to None and create the container inside the "
+                    "function body",
+                )
+            elif default.param in mutated_params:
+                yield _finding(
+                    "RL018",
+                    Severity.ERROR,
+                    path,
+                    default.lineno,
+                    default.col,
+                    f"{_short(qualname)} mutates its mutable default "
+                    f"{default.param!r} ({default.kind}) — the default is "
+                    "created once, so mutations persist across calls",
+                    "default to None and create the container inside the "
+                    "function body",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL019 — vectorization blockers on the hot path
+# ---------------------------------------------------------------------------
+def check_vectorization_blockers(
+    effects_program: EffectsProgram,
+    hot: Set[str],
+) -> Iterator[Finding]:
+    for qualname in sorted(hot):
+        fn = effects_program.effects.get(qualname)
+        if fn is None or not fn.closures:
+            continue
+        path = effects_program.path_of.get(qualname, "")
+        for closure in fn.closures:
+            yield _finding(
+                "RL019",
+                Severity.WARNING,
+                path,
+                closure.lineno,
+                closure.col,
+                f"hot-path function {_short(qualname)} creates closure "
+                f"{closure.name!r} capturing {', '.join(closure.captured)} "
+                "— per-event Python state blocks struct-of-arrays batching "
+                "(ROADMAP item 2 work-list; see results/effects_report.json)",
+                "pass state explicitly (e.g. index into preallocated "
+                "arrays) or keep the callback on the slow path",
+            )
+
+
+def check_effects(
+    effects_program: EffectsProgram,
+    sigs: Dict[str, EffectSignature],
+    hot: Set[str],
+    rule_ids: Optional[Set[str]] = None,
+    critical_modules: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run the selected effect rules (None = all of RL016-RL019)."""
+    selected = set(EFFECTS_RULE_IDS) if rule_ids is None else set(rule_ids)
+    findings: List[Finding] = []
+    if "RL016" in selected:
+        findings.extend(
+            check_order_sensitive_reductions(
+                effects_program, sigs, critical_modules
+            )
+        )
+    if "RL017" in selected:
+        findings.extend(check_declared_pure(effects_program, sigs))
+    if "RL018" in selected:
+        findings.extend(check_mutable_defaults(effects_program))
+    if "RL019" in selected:
+        findings.extend(check_vectorization_blockers(effects_program, hot))
+    return sort_findings(findings)

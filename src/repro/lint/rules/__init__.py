@@ -45,26 +45,34 @@ RULE_CLASSES: List[Type[Rule]] = [
 
 
 def all_rule_ids() -> Set[str]:
-    """Every registered id: per-file (RL001-RL011) plus dataflow
-    (RL012-RL015)."""
-    # Imported lazily: dataflow modules use rules.base helpers, so a
-    # top-level import here would be circular.
+    """Every registered id: per-file (RL001-RL011), dataflow
+    (RL012-RL015), effects (RL016-RL019)."""
+    # Imported lazily: dataflow/effects modules use rules.base helpers,
+    # so a top-level import here would be circular.
     from repro.lint.dataflow.rules import DATAFLOW_RULE_IDS
+    from repro.lint.effects.rules import EFFECTS_RULE_IDS
 
-    return {c.rule_id for c in RULE_CLASSES} | set(DATAFLOW_RULE_IDS)
+    return (
+        {c.rule_id for c in RULE_CLASSES}
+        | set(DATAFLOW_RULE_IDS)
+        | set(EFFECTS_RULE_IDS)
+    )
 
 
 def split_selection(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> Tuple[List[Type[Rule]], Set[str]]:
-    """Resolve ``--select`` / ``--ignore`` across both rule families.
+    """Resolve ``--select`` / ``--ignore`` across all rule families.
 
-    Returns ``(per_file_rule_classes, dataflow_rule_ids)``.  Unknown ids
+    Returns ``(per_file_rule_classes, interprocedural_rule_ids)``; the
+    second element mixes dataflow (RL012-RL015) and effects
+    (RL016-RL019) ids — the CLI partitions it by family.  Unknown ids
     in either list raise ``ValueError`` — a typo'd ``--select RL013``
     silently matching nothing would defeat the point of selecting.
     """
     from repro.lint.dataflow.rules import DATAFLOW_RULE_IDS
+    from repro.lint.effects.rules import EFFECTS_RULE_IDS
 
     known = all_rule_ids()
     wanted = {s.upper() for s in select} if select else None
@@ -78,12 +86,12 @@ def split_selection(
         for c in RULE_CLASSES
         if (wanted is None or c.rule_id in wanted) and c.rule_id not in dropped
     ]
-    dataflow_ids = {
+    inter_ids = {
         rid
-        for rid in DATAFLOW_RULE_IDS
+        for rid in (*DATAFLOW_RULE_IDS, *EFFECTS_RULE_IDS)
         if (wanted is None or rid in wanted) and rid not in dropped
     }
-    return classes, dataflow_ids
+    return classes, inter_ids
 
 
 def get_rule_classes(
@@ -97,11 +105,13 @@ def get_rule_classes(
 
 def rule_catalog() -> Dict[str, str]:
     """``{rule_id: summary}`` for ``--list-rules`` and the docs test,
-    covering both per-file and dataflow rules."""
+    covering per-file, dataflow, and effects rules."""
     from repro.lint.dataflow.rules import dataflow_catalog
+    from repro.lint.effects.rules import effects_catalog
 
     catalog = {cls.rule_id: cls.summary for cls in RULE_CLASSES}
     catalog.update(dataflow_catalog())
+    catalog.update(effects_catalog())
     return dict(sorted(catalog.items()))
 
 

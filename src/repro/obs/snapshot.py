@@ -67,6 +67,12 @@ def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]
     explicit conflict marker.  Safe for the ``repro.parallel`` sweep
     reduction — serial and parallel runs produce identical results
     because the reduction is applied in grid order either way.
+
+    Every per-snapshot section is reduced in sorted key order.  Worker
+    snapshots may carry the same keys in different insertion orders
+    (workers see different cell orders), and float addition is not
+    associative — canonical key order keeps the merged floats
+    bit-identical regardless of each worker's insertion history.
     """
     merged = empty_snapshot()
     counters: Dict[str, float] = merged["counters"]  # type: ignore[assignment]
@@ -76,11 +82,11 @@ def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]
 
     for snap in snapshots:
         _check_schema(snap)
-        for name, value in snap.get("counters", {}).items():
+        for name, value in sorted(snap.get("counters", {}).items()):
             counters[name] = counters.get(name, 0.0) + value
-        for name, value in snap.get("gauges", {}).items():
+        for name, value in sorted(snap.get("gauges", {}).items()):
             gauges[name] = gauges.get(name, 0.0) + value
-        for name, summary in snap.get("histograms", {}).items():
+        for name, summary in sorted(snap.get("histograms", {}).items()):
             have = histograms.get(name)
             if have is None:
                 merged_summary: Dict[str, object] = {
@@ -103,7 +109,7 @@ def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]
             for q in HISTOGRAM_QUANTILES:
                 merged_summary[f"p{int(q * 100)}"] = None
             histograms[name] = merged_summary
-        for name, value in snap.get("info", {}).items():
+        for name, value in sorted(snap.get("info", {}).items()):
             if name not in info:
                 info[name] = value
             elif info[name] != value and not info[name].endswith("!conflict"):

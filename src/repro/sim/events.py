@@ -11,6 +11,7 @@ for reproducible simulations).
 from __future__ import annotations
 
 import heapq
+from repro.lint.effects.contracts import declared_pure
 from typing import Any, Callable, List, Optional, Tuple
 
 
@@ -121,6 +122,7 @@ class EventQueue:
         time, _seq, event = heapq.heappop(self._heap)
         return time, event
 
+    @declared_pure
     def peek_time(self) -> Optional[float]:
         """Return the time of the earliest event, or None if empty."""
         if not self._heap:

@@ -186,11 +186,17 @@ class TierManager:
         """Process every retention deadline due at or before ``now``."""
         actions = {"refreshed": 0, "migrated": 0, "dropped": 0}
         # Deadlines may cascade (refresh re-arms); loop until quiescent.
+        # Visit residents in sorted object-id order: _decide accumulates
+        # float energy into shared stats, and float addition is not
+        # associative, so insertion-order iteration would make the
+        # totals depend on admission history.  _decide may also pop
+        # entries mid-cascade, hence the .get() guard.
         progress = True
         while progress:
             progress = False
-            for resident in list(self._residents.values()):
-                if resident.deadline() > now:
+            for object_id in sorted(self._residents):
+                resident = self._residents.get(object_id)
+                if resident is None or resident.deadline() > now:
                     continue
                 self._decide(resident, resident.deadline(), actions)
                 progress = True

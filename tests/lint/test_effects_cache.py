@@ -1,0 +1,150 @@
+"""The effects-summary cache: key discipline, invalidation, namespace
+isolation from the dataflow cache, and the warm-run speedup bound."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.lint.dataflow.cache import SummaryCache, summary_key
+from repro.lint.effects import analyze_effects
+from repro.lint.effects.cache import EffectsCache, effects_key
+from repro.lint.effects.extract import extract_effects
+from repro.lint.effects.model import EFFECTS_SCHEMA
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SOURCE = "def charge(stats, j):\n    stats.energy_j += j\n"
+
+
+def make_summary():
+    return extract_effects("repro/m.py", "repro.m", SOURCE)
+
+
+class TestEffectsKey:
+    def test_key_changes_with_source(self):
+        a = effects_key(SOURCE, "repro.m", "repro/m.py")
+        b = effects_key(SOURCE + "\n# touched\n", "repro.m", "repro/m.py")
+        assert a != b
+
+    def test_key_changes_with_module_and_path(self):
+        a = effects_key(SOURCE, "repro.m", "repro/m.py")
+        assert a != effects_key(SOURCE, "repro.other", "repro/m.py")
+        assert a != effects_key(SOURCE, "repro.m", "repro/other.py")
+
+    def test_key_is_stable(self):
+        assert effects_key(SOURCE, "repro.m", "repro/m.py") == effects_key(
+            SOURCE, "repro.m", "repro/m.py"
+        )
+
+    def test_namespace_disjoint_from_dataflow(self):
+        # Both layers share one cache directory; same source must never
+        # collide across layers or per-layer hit stats become fiction.
+        assert effects_key(SOURCE, "repro.m", "repro/m.py") != summary_key(
+            SOURCE, "repro.m", "repro/m.py"
+        )
+
+
+class TestEffectsCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = EffectsCache(tmp_path)
+        key = effects_key(SOURCE, "repro.m", "repro/m.py")
+        cache.put(key, make_summary())
+        fresh = EffectsCache(tmp_path)
+        assert fresh.get(key) == make_summary()
+        assert fresh.hits == 1 and fresh.misses == 0
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = EffectsCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = EffectsCache(tmp_path)
+        key = effects_key(SOURCE, "repro.m", "repro/m.py")
+        cache.put(key, make_summary())
+        entry = tmp_path / key[:2] / f"{key}.json"
+        entry.write_text("{truncated")
+        fresh = EffectsCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.misses == 1
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = EffectsCache(tmp_path)
+        key = effects_key(SOURCE, "repro.m", "repro/m.py")
+        cache.put(key, make_summary())
+        entry = tmp_path / key[:2] / f"{key}.json"
+        payload = json.loads(entry.read_text())
+        payload["schema"] = EFFECTS_SCHEMA + 1
+        entry.write_text(json.dumps(payload))
+        fresh = EffectsCache(tmp_path)
+        assert fresh.get(key) is None
+
+    def test_none_directory_disables_persistence(self):
+        cache = EffectsCache(None)
+        key = effects_key(SOURCE, "repro.m", "repro/m.py")
+        cache.put(key, make_summary())
+        assert cache.get(key) is None
+
+    def test_shared_directory_with_dataflow_cache(self, tmp_path):
+        # One directory serves both layers without cross-talk.
+        df = SummaryCache(tmp_path)
+        ef = EffectsCache(tmp_path)
+        ef.put(effects_key(SOURCE, "repro.m", "repro/m.py"), make_summary())
+        assert df.get(summary_key(SOURCE, "repro.m", "repro/m.py")) is None
+
+
+class TestIncrementalEffectsRuns:
+    def test_edit_invalidates_only_the_edited_file(self, tmp_path):
+        tree = tmp_path / "repro"
+        tree.mkdir()
+        (tree / "a.py").write_text("def f():\n    return 1\n")
+        (tree / "b.py").write_text("def g():\n    return 2\n")
+        cache_dir = tmp_path / "cache"
+        analyze_effects([tree], cache_dir=cache_dir, repo_root=tmp_path)
+        (tree / "a.py").write_text("def f():\n    return 3\n")
+        _, stats, _ = analyze_effects(
+            [tree], cache_dir=cache_dir, repo_root=tmp_path
+        )
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+
+    def test_warm_run_has_zero_misses(self, tmp_path):
+        src = REPO_ROOT / "src" / "repro"
+        cache_dir = tmp_path / "cache"
+        analyze_effects([src], cache_dir=cache_dir, repo_root=REPO_ROOT)
+        _, warm_stats, _ = analyze_effects(
+            [src], cache_dir=cache_dir, repo_root=REPO_ROOT
+        )
+        assert warm_stats.cache_misses == 0
+        assert warm_stats.cache_hits == warm_stats.files
+        assert warm_stats.hit_rate() == 1.0
+
+    def test_warm_run_under_quarter_of_cold(self, tmp_path):
+        """The acceptance bound: a warm effects pass over the real tree
+        must cost < 25% of the cold pass — both the dataflow summaries
+        it links and its own effect facts come from the cache, so warm
+        runs skip parsing and every AST walk."""
+        src = REPO_ROOT / "src" / "repro"
+        assert src.is_dir()
+        cache_dir = tmp_path / "cache"
+
+        start = time.perf_counter()
+        _, cold_stats, _ = analyze_effects(
+            [src], cache_dir=cache_dir, repo_root=REPO_ROOT
+        )
+        cold = time.perf_counter() - start
+        assert cold_stats.cache_hits == 0
+        assert cold_stats.cache_misses == cold_stats.files
+
+        start = time.perf_counter()
+        _, warm_stats, _ = analyze_effects(
+            [src], cache_dir=cache_dir, repo_root=REPO_ROOT
+        )
+        warm = time.perf_counter() - start
+        assert warm_stats.cache_hits == warm_stats.files
+        assert warm < 0.25 * cold, (
+            f"warm effects run took {warm:.3f}s vs cold {cold:.3f}s "
+            f"({warm / cold:.0%}); the effects cache is not paying off"
+        )

@@ -160,3 +160,65 @@ class TestNormalizeAndRoundtrip:
 
     def test_schema_constant(self):
         assert empty_snapshot()["schema"] == SNAPSHOT_SCHEMA == "repro.obs/1"
+
+
+def _raw(counters=(), gauges=()):
+    """A hand-built snapshot whose dicts keep the given insertion order."""
+    snap = empty_snapshot()
+    snap["counters"] = dict(counters)
+    snap["gauges"] = dict(gauges)
+    return snap
+
+
+class TestMergeKeyOrderInvariance:
+    """merge_snapshots reduces every section in canonical (sorted) key
+    order, so worker snapshots that carry the same keys in different
+    insertion orders — workers observe sweep cells in different orders —
+    merge to bit-identical floats.  Regression tests for the RL016 fix.
+    """
+
+    # Values chosen so any accumulation-order slip shows up in the low
+    # bits: large/small magnitudes that cancel, and sums like 0.1 + 0.2
+    # whose rounding depends on association.
+    ITEMS = (
+        ("energy.hbm{engine=0}", 1e16),
+        ("energy.lpddr{engine=0}", 0.1),
+        ("energy.mrm{engine=0}", -1e16),
+        ("energy.total{engine=0}", 0.2),
+    )
+
+    @staticmethod
+    def _rotations(items):
+        return [items[i:] + items[:i] for i in range(len(items))]
+
+    def test_insertion_order_never_changes_the_merge(self):
+        reference = None
+        for worker_orders in (
+            self._rotations(self.ITEMS),
+            [tuple(reversed(order)) for order in self._rotations(self.ITEMS)],
+        ):
+            snaps = [_raw(counters=order, gauges=order) for order in worker_orders]
+            merged = merge_snapshots(snaps)
+            if reference is None:
+                reference = merged
+            # Exact float equality, not approx: the merge is documented
+            # as bit-identical across insertion histories.
+            assert merged == reference
+            assert canonical_json(merged) == canonical_json(reference)
+
+    def test_merged_sections_are_key_sorted(self):
+        snaps = [_raw(counters=tuple(reversed(self.ITEMS)))]
+        merged = merge_snapshots(snaps)
+        keys = list(merged["counters"])
+        assert keys == sorted(keys)
+
+    def test_serial_vs_chunked_worker_delivery_identical(self):
+        """Four workers each hand back the same logical snapshots with
+        scrambled key order; merging in grid order must equal the
+        canonical (sorted-insertion) serial merge bit-for-bit."""
+        orders = self._rotations(self.ITEMS)
+        scrambled = [_raw(counters=order, gauges=order) for order in orders]
+        canonical = [
+            _raw(counters=sorted(order), gauges=sorted(order)) for order in orders
+        ]
+        assert merge_snapshots(scrambled) == merge_snapshots(canonical)

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Summarize repro-lint findings by rule and by disposition.
 
-Runs the full linter (per-file rules + interprocedural dataflow) over
-``src/repro`` and prints a small report: findings per rule id split
-into new / baselined / suppressed, suppression-pragma counts per rule,
-and the dataflow cache statistics.  The committed copy of the output
+Runs the full linter (per-file rules + interprocedural dataflow +
+effect inference) over ``src/repro`` and prints a small report:
+findings per rule id split into new / baselined / suppressed, a
+per-layer breakdown (per-file / dataflow / effects), and the summary
+statistics each layer reports.  The committed copy of the output
 lives at ``results/lint_stats.txt``; regenerate it with::
 
     python tools/lint_stats.py > results/lint_stats.txt
@@ -25,7 +26,17 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.lint import lint_paths  # noqa: E402
 from repro.lint.baseline import Baseline  # noqa: E402
+from repro.lint.dataflow import DATAFLOW_RULE_IDS  # noqa: E402
+from repro.lint.effects import EFFECTS_RULE_IDS  # noqa: E402
 from repro.lint.rules import rule_catalog  # noqa: E402
+
+
+def _layer_of(rule_id: str) -> str:
+    if rule_id in DATAFLOW_RULE_IDS:
+        return "dataflow"
+    if rule_id in EFFECTS_RULE_IDS:
+        return "effects"
+    return "per-file"
 
 
 def build_report() -> str:
@@ -63,10 +74,35 @@ def build_report() -> str:
     lines.append("-" * len(header))
     lines.append(f"{'total':<7} {totals[0]:>5} {totals[1]:>10} {totals[2]:>11}")
     lines.append("")
+    lines.append("findings by layer (new + baselined + suppressed)")
+    layer_rules = Counter(_layer_of(rule_id) for rule_id in catalog)
+    layer_findings: Counter = Counter()
+    for group in groups.values():
+        for rule_id, count in group.items():
+            layer_findings[_layer_of(rule_id)] += count
+    for layer in ("per-file", "dataflow", "effects"):
+        lines.append(
+            f"  {layer:<9} {layer_findings[layer]:>4} finding(s) across "
+            f"{layer_rules[layer]} rule(s)"
+        )
+    lines.append("")
     lines.append(f"files checked: {result.files_checked}")
     if result.dataflow_stats is not None:
         lines.append(
             f"dataflow: {result.dataflow_stats.files} file(s) summarized"
+        )
+    if result.effects_stats is not None:
+        lines.append(
+            f"effects: {result.effects_stats.files} file(s) summarized, "
+            f"{result.effects_stats.hot_functions} hot-path function(s)"
+        )
+    if result.effects_report is not None:
+        summary = result.effects_report.get("summary", {})
+        lines.append(
+            "kernel readiness: "
+            f"{summary.get('pure', 0)} pure / "
+            f"{summary.get('with_blockers', 0)} with blockers "
+            f"(see results/effects_report.json)"
         )
     quiet = sorted(set(catalog) - {r for g in groups.values() for r in g})
     lines.append(f"rules with zero findings: {', '.join(quiet)}")
