@@ -7,6 +7,8 @@ Usage::
     python -m repro characterize         # workload characterization
     python -m repro provisioning         # the HBM fit-to-workload table
     python -m repro serve --rate 1.5     # simulate cluster serving
+    python -m repro serve --mode analytic  # closed-form evaluator
+    python -m repro sweep --mode cross-validate  # DES vs analytic grid
     python -m repro sensitivity          # Figure 1 robustness sweep
     python -m repro trace --out t.jsonl  # generate a Splitwise-shaped trace
     python -m repro obs top m.json       # inspect a metrics snapshot
@@ -184,24 +186,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.workload.requests import PoissonArrivals
     from repro.workload.traces import generate_trace, replay_trace
 
-    obs = MetricsRegistry() if args.metrics else None
-    tracer = Tracer() if args.trace_out else None
-    sim = Simulator(obs=obs, tracer=tracer)
-    cluster = Cluster(
-        sim,
-        tensor_parallel_group(H100_80G, args.tp),
-        LLAMA2_70B,
-        num_engines=args.engines,
-        max_batch_size=args.batch,
-        obs=obs,
-    )
     trace = generate_trace(
         LLAMA2_70B,
         arrivals=PoissonArrivals(args.rate),
         duration_s=args.duration,
         seed=args.seed,
     )
-    report = cluster.run(replay_trace(trace))
+    if args.mode == "analytic":
+        # The analytic evaluator has no simulator, so there is no event
+        # stream to observe and no simulated-time spans to trace.
+        if args.metrics or args.trace_out:
+            raise CLIError(
+                "--metrics/--trace-out need the event-level run; "
+                "use --mode des"
+            )
+        from repro.inference.analytic import analytic_cluster_report
+
+        report = analytic_cluster_report(
+            tensor_parallel_group(H100_80G, args.tp),
+            LLAMA2_70B,
+            replay_trace(trace),
+            num_engines=args.engines,
+            max_batch_size=args.batch,
+        )
+        obs = tracer = None
+    else:
+        obs = MetricsRegistry() if args.metrics else None
+        tracer = Tracer() if args.trace_out else None
+        sim = Simulator(obs=obs, tracer=tracer)
+        cluster = Cluster(
+            sim,
+            tensor_parallel_group(H100_80G, args.tp),
+            LLAMA2_70B,
+            num_engines=args.engines,
+            max_batch_size=args.batch,
+            obs=obs,
+        )
+        report = cluster.run(replay_trace(trace))
     print(
         format_table(
             [
@@ -228,6 +249,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             meta={"command": "serve", "seed": args.seed},
         )
         print(f"trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.inference.sweep import (
+        CROSS_VAL_TOLERANCE,
+        SERVE_MODES,
+        cross_validate,
+        cross_validation_grid,
+        run_serve_sweep,
+    )
+
+    if args.workers is not None and args.workers < 1:
+        raise CLIError(f"--workers must be >= 1 (got {args.workers})")
+    points = cross_validation_grid(tiny=args.tiny)
+    if args.mode == "cross-validate":
+        rows = cross_validate(points, root_seed=args.seed,
+                              workers=args.workers)
+        print(f"DES vs analytic cross-validation (seed {args.seed})")
+        print(
+            format_table(
+                [
+                    [
+                        row["point"]["model"],
+                        row["point"]["accelerator"],
+                        f"{row['point']['rate']:g}",
+                        row["point"]["engines"],
+                        max(row["metrics"],
+                            key=lambda k: row["metrics"][k]["rel_err"]),
+                        f"{row['max_rel_err']:.2%}",
+                    ]
+                    for row in rows
+                ],
+                headers=["model", "accelerator", "rate", "engines",
+                         "worst metric", "max rel err"],
+            )
+        )
+        worst = max(row["max_rel_err"] for row in rows)
+        print(f"\nworst point: {worst:.2%} (tolerance {CROSS_VAL_TOLERANCE:.0%})")
+        return 1 if worst > CROSS_VAL_TOLERANCE else 0
+    if args.mode not in SERVE_MODES:
+        raise CLIError(
+            f"unknown sweep mode {args.mode!r}; known: "
+            f"{', '.join(SERVE_MODES)}, cross-validate"
+        )
+    rows = run_serve_sweep(points, root_seed=args.seed, workers=args.workers,
+                           mode=args.mode)
+    print(f"serving sweep — mode {args.mode} (seed {args.seed})")
+    print(
+        format_table(
+            [
+                [
+                    point["model"],
+                    point["accelerator"],
+                    f"{point['rate']:g}",
+                    point["engines"],
+                    row["requests_completed"],
+                    f"{row['throughput_tokens_per_s']:.0f}",
+                    f"{row['ttft_p50_s']:.3f}",
+                    f"{row['tbt_p50_s'] * 1e3:.1f}",
+                    f"{row['tokens_per_joule']:.4f}",
+                ]
+                for point, row in zip(points, rows)
+            ],
+            headers=["model", "accelerator", "rate", "engines", "requests",
+                     "tok/s", "TTFT p50 s", "TBT p50 ms", "tokens/J"],
+        )
+    )
     return 0
 
 
@@ -310,6 +399,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         serving_grid,
     )
 
+    if args.mode != "des":
+        # Fault timelines mutate engine state mid-run; the closed-form
+        # evaluator has no events to inject into.
+        raise CLIError(
+            "fault injection arms are event-level scenarios the analytic "
+            "mode cannot express; use --mode des"
+        )
     if args.family not in FAULT_EXPERIMENT_FAMILIES:
         raise CLIError(
             f"unknown fault experiment {args.family!r}; "
@@ -419,12 +515,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tensor-parallel group size")
     serve.add_argument("--batch", type=int, default=16)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--mode", choices=("des", "analytic"), default="des",
+                       help="evaluator: exact DES or closed-form analytic")
     _add_metrics_flag(serve)
     serve.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a JSON-lines span trace (simulated-time spans)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    sweep = sub.add_parser(
+        "sweep", help="serving sweep over the pinned grid (DES/analytic)"
+    )
+    sweep.add_argument("--mode", default="des",
+                       help="des, analytic, or cross-validate")
+    sweep.add_argument("--tiny", action="store_true",
+                       help="smoke-test grid (CI)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="sweep worker processes (default REPRO_WORKERS)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     sensitivity = sub.add_parser(
         "sensitivity", help="Figure 1 robustness sweep"
@@ -448,6 +558,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sweep worker processes (default REPRO_WORKERS)")
     faults.add_argument("--param", action="append", metavar="KEY=VALUE",
                         help="override a grid-point field (repeatable)")
+    faults.add_argument("--mode", choices=("des", "analytic"), default="des",
+                        help="evaluator (fault injection requires des)")
     _add_metrics_flag(faults)
     faults.set_defaults(func=_cmd_faults)
 

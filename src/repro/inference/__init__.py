@@ -22,6 +22,10 @@ token throughput, latency SLAs):
   memory traffic.
 - :mod:`~repro.inference.cluster` — multi-accelerator cluster with a
   dispatcher and aggregate metrics.
+- :mod:`~repro.inference.analytic` — closed-form fluid-replay evaluator
+  reproducing the cluster report ~100-1000x faster than the DES.
+- :mod:`~repro.inference.sweep` — serving sweeps with a
+  ``mode="des"|"analytic"`` switch and DES-vs-analytic cross-validation.
 """
 
 from repro.inference.accelerator import (
@@ -49,6 +53,19 @@ from repro.inference.power import (
     power_capped_throughput,
 )
 from repro.inference.deployment import ModelSwapModel, SwapCost
+from repro.inference.analytic import (
+    UnsupportedScenario,
+    analytic_cluster_report,
+)
+from repro.inference.sweep import (
+    CROSS_VAL_METRICS,
+    CROSS_VAL_TOLERANCE,
+    SERVE_MODES,
+    cross_validate,
+    cross_validation_grid,
+    run_serve_sweep,
+    serve_point,
+)
 
 __all__ = [
     "A100_80G",
@@ -56,6 +73,8 @@ __all__ = [
     "B200",
     "BatchScheduler",
     "Boundedness",
+    "CROSS_VAL_METRICS",
+    "CROSS_VAL_TOLERANCE",
     "Cluster",
     "ClusterReport",
     "EngineMetrics",
@@ -73,7 +92,14 @@ __all__ = [
     "best_frequency_under_cap",
     "power_capped_throughput",
     "RunningContext",
+    "SERVE_MODES",
     "SplitReport",
     "SplitwiseCluster",
     "StepTiming",
+    "UnsupportedScenario",
+    "analytic_cluster_report",
+    "cross_validate",
+    "cross_validation_grid",
+    "run_serve_sweep",
+    "serve_point",
 ]

@@ -61,6 +61,12 @@ class KVRecoveryConfig:
             raise ValueError("recovery budget must be >= 0")
 
 
+def _quantile_or_nan(histogram: Histogram, quantile: float) -> float:
+    """Report-friendly quantile: NaN instead of None on an empty histogram."""
+    value = histogram.quantile(quantile)
+    return float("nan") if value is None else value
+
+
 def _accumulate(*pairs) -> Dict[str, float]:
     """Sum (tier, bytes) pairs into a dict — two structures on the same
     tier must add their traffic, not overwrite each other."""
@@ -353,28 +359,39 @@ class InferenceEngine:
             c for c in batch if c.context_id in self.scheduler.running
         ]
         self.kv.append_batch([c.context_id for c in batch])
+        # Batched bookkeeping: counters accumulate whole-batch integer
+        # deltas (exact in float64, bit-identical to per-context add(1)
+        # loops); histograms keep scalar observes in batch order so the
+        # running sums round exactly as the per-context path did.
+        duration = timing.duration_s
+        hist_ttft = self.metrics.histogram("ttft_s")
+        hist_tbt = self.metrics.histogram("tbt_s")
+        finished: List[RunningContext] = []
         for context in batch:
             context.generated += 1
             if context.first_token_at is None:
                 context.first_token_at = now
-                self.metrics.histogram("ttft_s").observe(
-                    now - context.request.arrival_time
-                )
-                self._obs_ttft.observe(now - context.request.arrival_time)
-            self.metrics.histogram("tbt_s").observe(timing.duration_s)
-            self.metrics.counter("tokens_generated").add(1)
-            self._obs_tbt.observe(timing.duration_s)
-            self._obs_tokens.add()
+                wait = now - context.request.arrival_time
+                hist_ttft.observe(wait)
+                self._obs_ttft.observe(wait)
+            hist_tbt.observe(duration)
+            self._obs_tbt.observe(duration)
             if context.done:
                 context.finished_at = now
-                self.kv.release(context.context_id)
+                finished.append(context)
+        if batch:
+            self.metrics.counter("tokens_generated").add(len(batch))
+            self._obs_tokens.add(len(batch))
+        if finished:
+            self.kv.release_batch([c.context_id for c in finished])
+            completed_counter = self.metrics.counter("requests_completed")
+            hist_latency = self.metrics.histogram("request_latency_s")
+            for context in finished:
                 self.scheduler.finish(context.context_id)
                 self.completed.append(context)
-                self.metrics.counter("requests_completed").add(1)
-                self._obs_completed.add()
-                self.metrics.histogram("request_latency_s").observe(
-                    now - context.request.arrival_time
-                )
+                hist_latency.observe(now - context.request.arrival_time)
+            completed_counter.add(len(finished))
+            self._obs_completed.add(len(finished))
 
     # ------------------------------------------------------------------
     # Accounting
@@ -406,14 +423,8 @@ class InferenceEngine:
     def summarize(self) -> EngineMetrics:
         """Snapshot the run into an :class:`EngineMetrics`."""
         m = self.metrics
-
-        def hist(name: str) -> Histogram:
-            return m.histogram(name)
-
-        def q(name: str, quantile: float) -> float:
-            value = hist(name).quantile(quantile)
-            return float("nan") if value is None else value
-
+        ttft = m.histogram("ttft_s")
+        tbt = m.histogram("tbt_s")
         tier_reads: Dict[str, float] = {}
         tier_writes: Dict[str, float] = {}
         for tier in self.accelerator.tiers:
@@ -422,10 +433,10 @@ class InferenceEngine:
         return EngineMetrics(
             requests_completed=int(m.counter("requests_completed").value),
             tokens_generated=int(m.counter("tokens_generated").value),
-            ttft_p50_s=q("ttft_s", 0.5),
-            ttft_p99_s=q("ttft_s", 0.99),
-            tbt_p50_s=q("tbt_s", 0.5),
-            tbt_p99_s=q("tbt_s", 0.99),
+            ttft_p50_s=_quantile_or_nan(ttft, 0.5),
+            ttft_p99_s=_quantile_or_nan(ttft, 0.99),
+            tbt_p50_s=_quantile_or_nan(tbt, 0.5),
+            tbt_p99_s=_quantile_or_nan(tbt, 0.99),
             memory_bound_steps=int(m.counter("memory_bound_steps").value),
             compute_bound_steps=int(m.counter("compute_bound_steps").value),
             tier_bytes_read=tier_reads,

@@ -228,6 +228,36 @@ class KVCacheManager:
         self._obs_resident.set(self.used_bytes())
         return released
 
+    def release_batch(self, context_ids: Iterable[int]) -> int:
+        """Free several finished contexts in one call; returns pages released.
+
+        Equivalent to ``release(cid)`` per context, in order — the
+        allocator sees the identical free sequence — but the
+        observability updates (released-bytes counter, resident gauge)
+        are paid once per batch instead of once per context.  Byte
+        counts are exact integers, so the batched totals are
+        bit-identical to the per-context path.
+        """
+        total_released = 0
+        total_freed = 0
+        count = 0
+        for context_id in context_ids:
+            table = self._tables.pop(context_id, None)
+            if table is None:
+                raise KeyError(f"context {context_id} is not registered")
+            for key in self._prefix_keys_by_context.pop(context_id, ()):
+                if self._prefix_index.get(key) == context_id:
+                    del self._prefix_index[key]
+            used_before = self.allocator.used_pages
+            total_released += table.free()
+            total_freed += used_before - self.allocator.used_pages
+            count += 1
+        if count:
+            self._obs_evicted.add(count)
+            self._obs_released.add(total_freed * self.page_bytes)
+            self._obs_resident.set(self.used_bytes())
+        return total_released
+
     def _table(self, context_id: int) -> PageTable:
         table = self._tables.get(context_id)
         if table is None:

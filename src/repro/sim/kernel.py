@@ -3,13 +3,29 @@
 :class:`Simulator` owns the clock and the event queue.  Time only moves
 when the loop pops the next event; between events, callbacks and process
 steps run instantaneously at the current simulated time.
+
+The loop is batched: the queue hands back whole same-timestamp *cohorts*
+(see :meth:`repro.sim.events.EventQueue.pop_cohort`) and the kernel
+dispatches each payload through a closure-free opcode switch — a plain
+tuple ``(opcode, ...)`` for process wakeups, resource grants and throws,
+or an :class:`~repro.sim.events.Event` to fire.  Nothing on the per-event
+path allocates a lambda (rule RL019) and the clock/observability updates
+are paid once per cohort instead of once per event.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import (
+    OP_BOOT,
+    OP_GRANT,
+    OP_STEP,
+    OP_THROW,
+    OP_THROW_RAW,
+    Event,
+    EventQueue,
+)
 from repro.sim.process import Process
 
 
@@ -21,10 +37,12 @@ class Simulator:
     execution order out — ties in time break by scheduling order.
 
     Observability is opt-in: pass a :class:`repro.obs.MetricsRegistry`
-    as ``obs`` to count events/spawns, and a :class:`repro.obs.Tracer`
-    as ``tracer`` to open one simulated-time span per process.  Both
-    default to off; the hot loop then pays one ``is not None`` branch
-    per event (asserted < 2% in ``benchmarks/obs/``).
+    as ``obs`` to count events/spawns (plus a deterministic
+    ``sim.events_per_sec`` gauge — events per *simulated* second, never
+    wall time), and a :class:`repro.obs.Tracer` as ``tracer`` to open
+    one simulated-time span per process.  Both default to off; the hot
+    loop then pays one ``is not None`` branch per cohort (asserted < 2%
+    in ``benchmarks/obs/``).
 
     Example
     -------
@@ -37,10 +55,13 @@ class Simulator:
 
     __slots__ = (
         "_now",
+        "_start",
         "_queue",
         "_running",
+        "_events_done",
         "_obs_events",
         "_obs_spawns",
+        "_obs_eps",
         "_tracer",
     )
 
@@ -51,16 +72,22 @@ class Simulator:
         tracer: Any = None,
     ) -> None:
         self._now = float(start_time)
+        self._start = float(start_time)
         self._queue = EventQueue()
         self._running = False
+        self._events_done = 0
         # Bind the counters once so the per-event cost with obs off (or
         # the null registry) is a single attribute check, not a lookup.
         live = obs is not None and obs.enabled
         self._obs_events = obs.counter("sim.events_total") if live else None
         self._obs_spawns = obs.counter("sim.processes_spawned_total") if live else None
+        self._obs_eps = obs.gauge("sim.events_per_sec") if live else None
         self._tracer = tracer if tracer is not None and tracer.enabled else None
         if self._tracer is not None:
-            self._tracer.set_clock(lambda: self._now)
+            self._tracer.set_clock(self._clock)
+
+    def _clock(self) -> float:
+        return self._now
 
     @property
     def now(self) -> float:
@@ -116,8 +143,8 @@ class Simulator:
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a generator as a simulation process.
 
-        The first step runs at the current time (via a zero-delay event)
-        so that spawning inside a callback is safe.
+        The first step runs at the current time (via a zero-delay
+        wakeup) so that spawning inside a callback is safe.
         """
         process = Process(self, generator, name=name)
         if self._obs_spawns is not None:
@@ -125,29 +152,49 @@ class Simulator:
         if self._tracer is not None:
             # Span names come from Process.name (generator __name__ or
             # the caller's label) — deterministic, unlike event reprs.
+            # The span handle rides on the process and closes when the
+            # generator finishes (see Process._finish) — no callback
+            # closure on the done event.
             span = self._tracer.begin(f"process:{process.name}")
-            tracer = self._tracer
-            process.done.add_callback(lambda _ev: tracer.end(span))
-        self.schedule(0.0, lambda _ev: process._step(None))
+            process._trace = (self._tracer, span)
+        self._queue.push_wakeup(self._now, (OP_BOOT, process))
         return process
 
     def _throw_into(self, process: Process, exc: BaseException) -> None:
-        self.schedule(0.0, lambda _ev: process._step(throw=exc))
+        self._queue.push_wakeup(self._now, (OP_THROW_RAW, process, exc))
 
     # ------------------------------------------------------------------
     # The loop
     # ------------------------------------------------------------------
+    def _dispatch(self, payload: Any) -> None:
+        """Fire one queue payload: an opcode tuple or an Event."""
+        if payload.__class__ is tuple:
+            op = payload[0]
+            if op == OP_STEP:
+                payload[1]._step_if(payload[2], payload[3])
+            elif op == OP_BOOT:
+                payload[1]._step(None)
+            elif op == OP_GRANT:
+                payload[1]._grant(payload[2], payload[3])
+            elif op == OP_THROW:
+                payload[1]._step_if(payload[2], throw=payload[3])
+            else:  # OP_THROW_RAW
+                payload[1]._step(throw=payload[2])
+        else:
+            payload._fire()
+
     def step(self) -> bool:
         """Process the single earliest event.  Return False if none left."""
         if not self._queue:
             return False
-        time, event = self._queue.pop()
+        time, payload = self._queue.pop()
         if time < self._now:
             raise RuntimeError(f"time went backwards: {time} < {self._now}")
         self._now = time
+        self._events_done += 1
         if self._obs_events is not None:
             self._obs_events.add()
-        event._fire()
+        self._dispatch(payload)
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -161,20 +208,88 @@ class Simulator:
             raise RuntimeError("simulator is already running (re-entrant run())")
         self._running = True
         processed = 0
+        queue = self._queue
+        obs_events = self._obs_events
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                if until is not None and next_time is not None and next_time > until:
+            if max_events is None:
+                # Hot path: opcode dispatch inlined into the loop body so
+                # each event costs zero extra method calls.  Whether the
+                # clock stops at `until` because later events remain or
+                # because the queue drained, it lands on exactly `until`,
+                # so no peek is needed.
+                pop_cohort = queue.pop_cohort
+                while True:
+                    cohort = pop_cohort(until)
+                    if cohort is None:
+                        break
+                    time, payloads = cohort
+                    if time < self._now:
+                        raise RuntimeError(
+                            f"time went backwards: {time} < {self._now}"
+                        )
+                    self._now = time
+                    count = len(payloads)
+                    processed += count
+                    self._events_done += count
+                    if obs_events is not None:
+                        # One exact integer add per cohort: bit-identical
+                        # to count repeated add(1) calls (integers are
+                        # exact in float64 far beyond any event count).
+                        obs_events.add(count)
+                    for payload in payloads:
+                        if payload.__class__ is tuple:
+                            op = payload[0]
+                            if op == OP_STEP:
+                                process = payload[1]
+                                if payload[2] == process._wait_generation:
+                                    process._step(payload[3])
+                            elif op == OP_BOOT:
+                                payload[1]._step(None)
+                            elif op == OP_GRANT:
+                                payload[1]._grant(payload[2], payload[3])
+                            elif op == OP_THROW:
+                                process = payload[1]
+                                if payload[2] == process._wait_generation:
+                                    process._step(None, payload[3])
+                            else:  # OP_THROW_RAW
+                                payload[1]._step(throw=payload[2])
+                        else:
+                            payload._fire()
+                if until is not None and until > self._now:
+                    self._now = until
+                return
+            # Bounded path: max_events needs a peek before every cohort so
+            # the stop-at-`until` check keeps priority over the budget.
+            while True:
+                next_time = queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
                     self._now = until
                     return
-                if max_events is not None and processed >= max_events:
+                if processed >= max_events:
                     return
-                self.step()
-                processed += 1
+                time, payloads = queue.pop_cohort(until, max_events - processed)
+                if time < self._now:
+                    raise RuntimeError(f"time went backwards: {time} < {self._now}")
+                self._now = time
+                count = len(payloads)
+                processed += count
+                self._events_done += count
+                if obs_events is not None:
+                    obs_events.add(count)
+                for payload in payloads:
+                    self._dispatch(payload)
             if until is not None and until > self._now:
                 self._now = until
         finally:
             self._running = False
+            if self._obs_eps is not None:
+                elapsed = self._now - self._start
+                if elapsed > 0.0:
+                    # Deterministic throughput gauge: events per
+                    # *simulated* second (RL011 bans wall clocks here).
+                    self._obs_eps.set(self._events_done / elapsed)
 
     def pending_events(self) -> int:
         """Number of events still queued."""

@@ -14,14 +14,17 @@ A process may also ``yield`` another :class:`Process` to join it (resume
 when the child finishes; the child's return value is sent back).
 
 This mirrors SimPy's programming model while staying ~200 lines and fully
-deterministic.
+deterministic.  Wakeups are scheduled as plain opcode tuples
+(:data:`repro.sim.events.OP_STEP` and friends) rather than per-event
+closures, so the kernel's hot loop never allocates a lambda per step —
+see rule RL019 and the batched dispatch in :mod:`repro.sim.kernel`.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, OP_STEP, OP_THROW
 
 
 class Command:
@@ -72,22 +75,37 @@ class Release(Command):
         self.resource = resource
 
 
+_UNSET = object()
+
+
 class Process:
     """A running generator coroutine inside the simulator.
 
     Created via :meth:`repro.sim.kernel.Simulator.spawn`.  The
     :attr:`done` event fires when the generator returns; its value is the
-    generator's return value.
+    generator's return value.  The event is materialised lazily — a
+    process nobody joins never allocates it.
     """
 
-    __slots__ = ("sim", "generator", "done", "name", "_alive", "_wait_generation")
+    __slots__ = (
+        "sim",
+        "generator",
+        "name",
+        "_alive",
+        "_wait_generation",
+        "_done",
+        "_result",
+        "_trace",
+    )
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:  # noqa: F821
         self.sim = sim
         self.generator = generator
-        self.done = Event(name=f"done:{name or repr(generator)}")
         self.name = name or getattr(generator, "__name__", "process")
         self._alive = True
+        self._done: Optional[Event] = None
+        self._result: Any = _UNSET
+        self._trace: Any = None
         # Incremented whenever the process changes what it waits on; a
         # stale wakeup (older generation) is ignored, so an interrupt
         # that the process catches cannot be followed by the original
@@ -98,6 +116,18 @@ class Process:
     def alive(self) -> bool:
         """True until the generator has returned or been interrupted."""
         return self._alive
+
+    @property
+    def done(self) -> Event:
+        """The completion event (lazily created; pre-fired if finished)."""
+        event = self._done
+        if event is None:
+            event = Event(name=f"done:{self.name}")
+            if self._result is not _UNSET:
+                event.value = self._result
+                event.fired = True
+            self._done = event
+        return event
 
     def interrupt(self, exc: Optional[BaseException] = None) -> None:
         """Throw ``exc`` (default :class:`Interrupted`) into the process.
@@ -110,9 +140,9 @@ class Process:
             return
         # Invalidate whatever wakeup the process was waiting on.
         self._wait_generation += 1
-        generation = self._wait_generation
-        self.sim.schedule(
-            0.0, lambda _ev: self._step_if(generation, throw=exc or Interrupted())
+        sim = self.sim
+        sim._queue.push_wakeup(
+            sim._now, (OP_THROW, self, self._wait_generation, exc or Interrupted())
         )
 
     def _step_if(
@@ -126,6 +156,21 @@ class Process:
             return
         self._step(send_value, throw)
 
+    def _finish(self, value: Any) -> None:
+        """Record completion: end the trace span, fire ``done`` if built."""
+        self._alive = False
+        self._result = value
+        trace = self._trace
+        if trace is not None:
+            # The span closes before joiners resume, matching the old
+            # tracer-callback-registered-first ordering.
+            self._trace = None
+            trace[0].end(trace[1])
+        event = self._done
+        if event is not None:
+            event.value = value
+            event._fire()
+
     def _step(self, send_value: Any = None, throw: Optional[BaseException] = None) -> None:
         """Advance the generator one yield and interpret its command."""
         if not self._alive:
@@ -138,14 +183,10 @@ class Process:
             else:
                 command = self.generator.send(send_value)
         except StopIteration as stop:
-            self._alive = False
-            self.done.value = stop.value
-            self.done._fire()
+            self._finish(stop.value)
             return
         except Interrupted as exc:
-            self._alive = False
-            self.done.value = exc
-            self.done._fire()
+            self._finish(exc)
             return
         except Exception as exc:
             # The generator raised: the process is dead, and the failure
@@ -153,32 +194,41 @@ class Process:
             # not silently strand the process with _alive=True.
             self._alive = False
             raise SimProcessError(self, self.sim.now, exc) from exc
+        if command.__class__ is Timeout:
+            # Inlined fast path for the dominant command — one wakeup
+            # tuple, no extra method call.
+            generation = self._wait_generation + 1
+            self._wait_generation = generation
+            sim = self.sim
+            sim._queue.push_wakeup(
+                sim._now + command.delay, (OP_STEP, self, generation, command.value)
+            )
+            return
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
         sim = self.sim
         self._wait_generation += 1
         generation = self._wait_generation
-        if isinstance(command, Timeout):
-            sim.schedule(
-                command.delay,
-                lambda _ev: self._step_if(generation, command.value),
+        # Exact-class checks first: commands are almost always the
+        # concrete classes, and `is` skips the isinstance machinery on
+        # the hot path.  The isinstance fallbacks keep subclasses legal.
+        cls = command.__class__
+        if cls is Timeout or isinstance(command, Timeout):
+            sim._queue.push_wakeup(
+                sim._now + command.delay, (OP_STEP, self, generation, command.value)
             )
-        elif isinstance(command, Wait):
-            command.event.add_callback(
-                lambda ev: self._step_if(generation, ev.value)
-            )
-        elif isinstance(command, Acquire):
+        elif cls is Wait or isinstance(command, Wait):
+            command.event._add_waiter(self, generation)
+        elif cls is Acquire or isinstance(command, Acquire):
             command.resource._enqueue(self, generation)
-        elif isinstance(command, Release):
+        elif cls is Release or isinstance(command, Release):
             command.resource._release()
-            sim.schedule(0.0, lambda _ev: self._step_if(generation, None))
-        elif isinstance(command, Process):
-            command.done.add_callback(
-                lambda ev: self._step_if(generation, ev.value)
-            )
+            sim._queue.push_wakeup(sim._now, (OP_STEP, self, generation, None))
+        elif cls is Process or isinstance(command, Process):
+            command.done._add_waiter(self, generation)
         elif isinstance(command, Event):
-            command.add_callback(lambda ev: self._step_if(generation, ev.value))
+            command._add_waiter(self, generation)
         else:
             raise TypeError(
                 f"process {self.name!r} yielded unsupported command: {command!r}"

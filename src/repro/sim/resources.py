@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, TYPE_CHECKING
 
+from repro.sim.events import OP_GRANT
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import Process
 
@@ -54,17 +56,22 @@ class Resource:
             self._waiters.append((process, generation))
 
     def _deliver(self, process: "Process", generation: int) -> None:
+        """Queue a zero-delay grant wakeup for *process*.
+
+        The grant is an opcode tuple (no closure); staleness is checked
+        when it fires, in :meth:`_grant`.
+        """
+        sim = self.sim
+        sim._queue.push_wakeup(sim._now, (OP_GRANT, self, process, generation))
+
+    def _grant(self, process: "Process", generation: int) -> None:
         """Hand a held unit to a waiter — unless the waiter has moved on
         (interrupted while queued), in which case the unit is released
         onward instead of leaking."""
-
-        def grant(_ev) -> None:
-            if not process.alive or process._wait_generation != generation:
-                self._release()
-            else:
-                process._step(None)
-
-        self.sim.schedule(0.0, grant)
+        if not process._alive or process._wait_generation != generation:
+            self._release()
+        else:
+            process._step(None)
 
     def _release(self) -> None:
         if self._in_use <= 0:

@@ -121,9 +121,16 @@ class Histogram:
         self._sumsq = 0.0
 
     def _grow_to(self, need: int) -> None:
-        capacity = len(self._buf)
-        while capacity < need:
-            capacity *= 2
+        """Grow to ``max(2x, need)`` in one allocation and one copy.
+
+        At-least-doubling keeps ingestion amortised O(1) per sample for
+        any interleaving of scalar :meth:`observe` calls and
+        :meth:`observe_many` bursts: a burst far beyond the current
+        capacity is sized exactly (no power-of-two overshoot on huge
+        arrays), while small spills still double so the number of
+        reallocations stays logarithmic in the sample count.
+        """
+        capacity = max(2 * len(self._buf), need)
         grown = np.empty(capacity, dtype=np.float64)
         grown[: self._n] = self._buf[: self._n]
         self._buf = grown

@@ -150,3 +150,186 @@ class TestTieBreakContract:
             sim.schedule(5.0, lambda _ev, i=index: fired.append(i))
         sim.run()
         assert fired == list(range(2000))
+
+
+class TestPopCohort:
+    """Edge contract of the batched same-timestamp cohort pop the kernel
+    hot loop is built on."""
+
+    def test_empty_queue_returns_none(self):
+        assert EventQueue().pop_cohort() is None
+
+    def test_head_beyond_until_returns_none_and_keeps_entry(self):
+        queue = EventQueue()
+        event = Event("later")
+        queue.push(10.0, event)
+        assert queue.pop_cohort(until=5.0) is None
+        assert len(queue) == 1
+        time, payloads = queue.pop_cohort(until=10.0)
+        assert time == 10.0
+        assert list(payloads) == [event]
+
+    def test_singleton_cohort(self):
+        queue = EventQueue()
+        a, b = Event("a"), Event("b")
+        queue.push(1.0, a)
+        queue.push(2.0, b)
+        time, payloads = queue.pop_cohort()
+        assert time == 1.0
+        assert list(payloads) == [a]
+        assert len(queue) == 1
+
+    def test_cohort_in_push_order(self):
+        queue = EventQueue()
+        ties = [Event(str(i)) for i in range(6)]
+        queue.push(0.5, Event("early"))
+        for event in ties:
+            queue.push(3.0, event)
+        queue.pop()  # drain the early singleton
+        time, payloads = queue.pop_cohort()
+        assert time == 3.0
+        assert list(payloads) == ties
+
+    def test_limit_splits_cohort_preserving_order(self):
+        queue = EventQueue()
+        ties = [Event(str(i)) for i in range(7)]
+        for event in ties:
+            queue.push(1.0, event)
+        time, first = queue.pop_cohort(limit=3)
+        assert time == 1.0
+        assert list(first) == ties[:3]
+        # The remainder stays queued and pops first, still in order.
+        time, rest = queue.pop_cohort()
+        assert time == 1.0
+        assert list(rest) == ties[3:]
+        assert not queue
+
+    def test_equal_time_pending_orders_after_live_ties(self):
+        """An entry pushed at a timestamp that is already live must pop
+        after every live tie at that timestamp (global FIFO), even when
+        the push happens between pops."""
+        queue = EventQueue()
+        first, second = Event("first"), Event("second")
+        queue.push(2.0, first)
+        queue.push(1.0, Event("opener"))
+        queue.pop()  # forces a merge; t=2.0 entries are now live
+        queue.push(2.0, second)  # pending, equal to the live head
+        time, payloads = queue.pop_cohort()
+        assert time == 2.0
+        assert list(payloads) == [first]
+        time, payloads = queue.pop_cohort()
+        assert time == 2.0
+        assert list(payloads) == [second]
+
+    def test_opcode_payloads_mix_with_events(self):
+        from repro.sim.events import OP_BOOT
+
+        queue = EventQueue()
+        event = Event("e")
+        queue.push(1.0, event)
+        queue.push_wakeup(1.0, (OP_BOOT, "sentinel"))
+        time, payloads = queue.pop_cohort()
+        assert time == 1.0
+        assert list(payloads) == [event, (OP_BOOT, "sentinel")]
+
+
+class TestTimerCancellation:
+    """Pending timers must be cancellable/reschedulable: an interrupt
+    invalidates the in-flight timeout wakeup (generation bump), and the
+    stale wakeup later pops as a no-op."""
+
+    def test_interrupted_timeout_does_not_fire(self):
+        from repro.sim.kernel import Simulator
+        from repro.sim.process import Interrupted, Timeout
+
+        sim = Simulator()
+        resumed = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+                resumed.append(("timeout", sim.now))
+            except Interrupted:
+                resumed.append(("interrupted", sim.now))
+
+        process = sim.spawn(sleeper())
+        sim.schedule(5.0, lambda _ev: process.interrupt())
+        sim.run()
+        # The original t=100 wakeup is stale: the process saw only the
+        # interrupt, and the clock still advanced through the stale
+        # wakeup's timestamp without resuming anything.
+        assert resumed == [("interrupted", 5.0)]
+        assert not process.alive
+        assert sim.now == 100.0
+
+    def test_catch_and_reschedule_shorter_timer(self):
+        from repro.sim.kernel import Simulator
+        from repro.sim.process import Interrupted, Timeout
+
+        sim = Simulator()
+        resumed = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+                resumed.append(("long", sim.now))
+            except Interrupted:
+                yield Timeout(1.0)  # reschedule a shorter timer
+                resumed.append(("short", sim.now))
+
+        process = sim.spawn(sleeper())
+        sim.schedule(5.0, lambda _ev: process.interrupt())
+        sim.run()
+        assert resumed == [("short", 6.0)]
+        assert not process.alive
+
+    def test_stale_wakeup_cannot_resurrect_finished_process(self):
+        from repro.sim.kernel import Simulator
+        from repro.sim.process import Timeout
+
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            yield Timeout(50.0)
+            log.append(sim.now)
+
+        process = sim.spawn(sleeper())
+        # Uncaught interrupt terminates the process at t=2; the queued
+        # t=50 wakeup must then be ignored.
+        sim.schedule(2.0, lambda _ev: process.interrupt())
+        sim.run()
+        assert log == []
+        assert not process.alive
+        from repro.sim.process import Interrupted
+
+        assert isinstance(process.done.value, Interrupted)
+
+    def test_repeated_interrupts_each_invalidate_the_previous_wait(self):
+        from repro.sim.kernel import Simulator
+        from repro.sim.process import Interrupted, Timeout
+
+        sim = Simulator()
+        attempts = []
+
+        def stubborn():
+            for retry in range(3):
+                try:
+                    yield Timeout(100.0)
+                    attempts.append(("slept", retry, sim.now))
+                    return
+                except Interrupted:
+                    attempts.append(("poked", retry, sim.now))
+            attempts.append(("gave up", sim.now))
+
+        process = sim.spawn(stubborn())
+        for poke in (1.0, 2.0, 3.0):
+            sim.schedule(poke, lambda _ev: process.interrupt())
+        sim.run()
+        assert attempts == [
+            ("poked", 0, 1.0),
+            ("poked", 1, 2.0),
+            ("poked", 2, 3.0),
+            ("gave up", 3.0),
+        ]
+        assert not process.alive

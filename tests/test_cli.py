@@ -80,6 +80,59 @@ class TestCLI:
             main(["frobnicate"])
 
 
+class TestAnalyticMode:
+    def test_serve_analytic_prints_same_table(self, capsys):
+        assert main(
+            ["serve", "--mode", "analytic", "--duration", "5",
+             "--engines", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput tok/s" in out
+        assert "memory-bound" in out
+
+    def test_serve_analytic_rejects_event_level_flags(self, tmp_path, capsys):
+        assert main(
+            ["serve", "--mode", "analytic", "--duration", "5",
+             "--metrics", str(tmp_path / "m.json")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "--mode des" in err
+        assert err.count("\n") == 1
+
+    def test_faults_analytic_is_one_line_error(self, capsys):
+        assert main(["faults", "--mode", "analytic", "--tiny"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "use --mode des" in err
+        assert err.count("\n") == 1
+
+    def test_sweep_cross_validate_tiny(self, capsys):
+        assert main(
+            ["sweep", "--mode", "cross-validate", "--tiny"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "max rel err" in out
+        assert "tolerance" in out
+
+    def test_sweep_analytic_tiny(self, capsys):
+        assert main(["sweep", "--mode", "analytic", "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "tok/s" in out
+
+    def test_sweep_unknown_mode_is_one_line_error(self, capsys):
+        assert main(["sweep", "--mode", "quantum", "--tiny"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_sweep_workers_below_one_is_one_line_error(self, capsys):
+        assert main(["sweep", "--tiny", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+
 class TestFaultsCommand:
     def test_controller_tiny(self, capsys):
         assert main(
