@@ -192,7 +192,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
     )
-    if args.mode == "analytic":
+    report = None
+    obs = tracer = None
+    # Auto mode means "analytic when it applies": event-level artifact
+    # requests (--metrics/--trace-out) are an explicit ask for the DES,
+    # so auto skips the analytic attempt instead of erroring.
+    try_analytic = args.mode == "analytic" or (
+        args.mode == "auto" and not (args.metrics or args.trace_out)
+    )
+    if try_analytic:
         # The analytic evaluator has no simulator, so there is no event
         # stream to observe and no simulated-time spans to trace.
         if args.metrics or args.trace_out:
@@ -200,17 +208,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "--metrics/--trace-out need the event-level run; "
                 "use --mode des"
             )
-        from repro.inference.analytic import analytic_cluster_report
-
-        report = analytic_cluster_report(
-            tensor_parallel_group(H100_80G, args.tp),
-            LLAMA2_70B,
-            replay_trace(trace),
-            num_engines=args.engines,
-            max_batch_size=args.batch,
+        from repro.inference.analytic import (
+            UnsupportedScenario,
+            analytic_cluster_report,
         )
-        obs = tracer = None
-    else:
+
+        try:
+            report = analytic_cluster_report(
+                tensor_parallel_group(H100_80G, args.tp),
+                LLAMA2_70B,
+                replay_trace(trace),
+                num_engines=args.engines,
+                max_batch_size=args.batch,
+            )
+        except UnsupportedScenario as exc:
+            if args.mode == "analytic":
+                raise  # strict: outside the envelope is exit 2
+            print(f"analytic evaluator declined ({exc}); "
+                  "falling back to DES")
+    if report is None:
         obs = MetricsRegistry() if args.metrics else None
         tracer = Tracer() if args.trace_out else None
         sim = Simulator(obs=obs, tracer=tracer)
@@ -222,6 +238,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.batch,
             obs=obs,
         )
+        if obs is not None and args.mode == "auto":
+            # Auto resolved to the DES (event-level artifacts were
+            # requested): leave the breadcrumb in the snapshot.
+            obs.counter(
+                "serve.analytic_fallback_total", reason="event-artifacts"
+            ).add()
         report = cluster.run(replay_trace(trace))
     print(
         format_table(
@@ -317,6 +339,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                      "tok/s", "TTFT p50 s", "TBT p50 ms", "tokens/J"],
         )
     )
+    if args.mode == "auto":
+        fallbacks = sum(1 for row in rows if row.get("analytic_fallback"))
+        print(f"\nanalytic evaluator declined {fallbacks}/{len(rows)} "
+              "points (served by DES)")
     return 0
 
 
@@ -388,12 +414,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 #: Fault-experiment families the ``faults`` subcommand can run.
-FAULT_EXPERIMENT_FAMILIES = ("controller", "serving")
+FAULT_EXPERIMENT_FAMILIES = ("controller", "serving", "chaos")
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.experiment import (
+        chaos_grid,
         controller_grid,
+        run_chaos_experiment,
         run_controller_experiment,
         run_serving_experiment,
         serving_grid,
@@ -423,6 +451,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             root_seed=args.seed, workers=args.workers, points=points
         )
         knob = "rate_multiplier"
+    elif args.family == "chaos":
+        points = [dict(p, **overrides) for p in chaos_grid(args.tiny)]
+        rows = run_chaos_experiment(
+            root_seed=args.seed, workers=args.workers, points=points
+        )
+        knob = "strike_rate_per_hour"
     else:
         points = [dict(p, **overrides) for p in serving_grid(args.tiny)]
         rows = run_serving_experiment(
@@ -515,8 +549,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tensor-parallel group size")
     serve.add_argument("--batch", type=int, default=16)
     serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("--mode", choices=("des", "analytic"), default="des",
-                       help="evaluator: exact DES or closed-form analytic")
+    serve.add_argument("--mode", choices=("des", "analytic", "auto"),
+                       default="des",
+                       help="evaluator: exact DES, closed-form analytic, or "
+                            "auto (analytic with DES fallback)")
     _add_metrics_flag(serve)
     serve.add_argument(
         "--trace-out", metavar="PATH", default=None,
@@ -528,7 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="serving sweep over the pinned grid (DES/analytic)"
     )
     sweep.add_argument("--mode", default="des",
-                       help="des, analytic, or cross-validate")
+                       help="des, analytic, auto, or cross-validate")
     sweep.add_argument("--tiny", action="store_true",
                        help="smoke-test grid (CI)")
     sweep.add_argument("--seed", type=int, default=0)
@@ -550,7 +586,8 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="availability vs fault rate, with/without mitigations"
     )
     faults.add_argument("--family", default="controller",
-                        help="experiment family: controller or serving")
+                        help="experiment family: controller, serving, "
+                             "or chaos")
     faults.add_argument("--tiny", action="store_true",
                         help="smoke-test grid (CI)")
     faults.add_argument("--seed", type=int, default=0)

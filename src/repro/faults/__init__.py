@@ -24,15 +24,25 @@ and all of its effects, serially or under
 :func:`repro.parallel.run_sweep` — see ``docs/ROBUSTNESS.md``.
 """
 
+from repro.faults.domains import (
+    FaultDomain,
+    FaultTopology,
+    cluster_topology,
+    validate_domain_rates,
+)
 from repro.faults.events import (
     KIND_ORDER,
     FaultEvent,
     FaultKind,
+    parse_fault_kind,
     timeline_fingerprint,
 )
 from repro.faults.experiment import (
+    chaos_grid,
+    chaos_point,
     controller_grid,
     controller_point,
+    run_chaos_experiment,
     run_controller_experiment,
     run_serving_experiment,
     serving_grid,
@@ -41,11 +51,13 @@ from repro.faults.experiment import (
 from repro.faults.injector import (
     ControllerFaultInjector,
     FaultLog,
+    spawn_domain_faults,
     spawn_kv_faults,
 )
 from repro.faults.rates import KindRates, rates_for
 from repro.faults.schedule import (
     FaultSchedule,
+    generate_correlated_schedule,
     generate_schedule,
     merge_schedules,
 )
@@ -53,20 +65,30 @@ from repro.faults.schedule import (
 __all__ = [
     "KIND_ORDER",
     "ControllerFaultInjector",
+    "FaultDomain",
     "FaultEvent",
     "FaultKind",
     "FaultLog",
     "FaultSchedule",
+    "FaultTopology",
     "KindRates",
+    "chaos_grid",
+    "chaos_point",
+    "cluster_topology",
     "controller_grid",
     "controller_point",
+    "generate_correlated_schedule",
     "generate_schedule",
     "merge_schedules",
+    "parse_fault_kind",
     "rates_for",
+    "run_chaos_experiment",
     "run_controller_experiment",
     "run_serving_experiment",
     "serving_grid",
     "serving_point",
+    "spawn_domain_faults",
     "spawn_kv_faults",
     "timeline_fingerprint",
+    "validate_domain_rates",
 ]

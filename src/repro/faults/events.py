@@ -13,7 +13,14 @@ parameter:
   (peripheral/wordline failure); the data is gone, the capacity too;
 - **device failures** — the whole device drops off the fabric;
 - **KV-cache loss** — the serving-layer projection of any of the above:
-  a running request's KV pages are no longer trustworthy.
+  a running request's KV pages are no longer trustworthy;
+- **engine crashes** — one inference engine (a tensor-parallel group and
+  its serving loop) dies mid-decode: every resident KV context is gone
+  and the engine is out of rotation until it restarts;
+- **domain power loss** — a whole failure domain (rack/power feed)
+  strikes at once; the event expands into correlated per-member events
+  (see :mod:`repro.faults.domains`), so one bad feed takes out every
+  engine behind it in the same simulated instant.
 
 Every fault is a frozen :class:`FaultEvent` carrying the simulated time
 it strikes, the device it targets, and a uniform ``magnitude`` draw in
@@ -44,11 +51,26 @@ class FaultKind(enum.Enum):
     BANK_FAILURE = "bank-failure"
     DEVICE_FAILURE = "device-failure"
     KV_LOSS = "kv-loss"
+    # Serving-topology kinds (appended so existing KIND_ORDER indices —
+    # and therefore existing schedule fingerprints — never move).
+    ENGINE_CRASH = "engine-crash"
+    DOMAIN_POWER_LOSS = "domain-power-loss"
 
 
 #: Deterministic ordering of kinds for schedule merging (enum definition
 #: order — never iterate a set of kinds).
 KIND_ORDER: Tuple[FaultKind, ...] = tuple(FaultKind)
+
+
+def parse_fault_kind(name: str) -> FaultKind:
+    """Resolve a fault-kind string with a CLI-friendly error message."""
+    try:
+        return FaultKind(name)
+    except ValueError:
+        known = ", ".join(kind.value for kind in KIND_ORDER)
+        raise ValueError(
+            f"unknown fault kind {name!r}; known: {known}"
+        ) from None
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,14 @@ executions are bit-identical, fault timeline included:
 - :func:`serving_point` — a small inference cluster while KV-cache-loss
   faults strike running requests.  Measures request availability and
   goodput (throughput net of recomputed tokens).
+- :func:`chaos_point` — a cluster under *correlated* domain faults
+  (engine crashes and power-domain losses expanded from one
+  :func:`~repro.faults.schedule.generate_correlated_schedule`
+  timeline), baseline vs the full graceful-degradation stack
+  (:class:`~repro.inference.resilience.ResiliencePolicy`: deadlines,
+  retries, hedging, crash re-dispatch + KV recompute).  Measures
+  delivered goodput, SLO attainment, shed/retry/hedge counts and
+  time-to-recovery vs domain strike rate.
 
 Each point draws **one** fault schedule and plays it through two arms —
 ``baseline`` (mitigations off: detected errors are immediate data loss,
@@ -32,19 +40,29 @@ from repro.core.controller import MRMController, RecoveryConfig
 from repro.core.mrm import MRMConfig, MRMDevice
 from repro.core.zones import BlockState
 from repro.ecc.bch import BCHCode
+from repro.faults.domains import cluster_topology
 from repro.faults.events import FaultKind
-from repro.faults.injector import ControllerFaultInjector, spawn_kv_faults
+from repro.faults.injector import (
+    ControllerFaultInjector,
+    spawn_domain_faults,
+    spawn_kv_faults,
+)
 from repro.faults.rates import rates_for
-from repro.faults.schedule import FaultSchedule, generate_schedule
+from repro.faults.schedule import (
+    FaultSchedule,
+    generate_correlated_schedule,
+    generate_schedule,
+)
 from repro.inference.accelerator import H100_80G
 from repro.inference.cluster import Cluster, tensor_parallel_group
 from repro.inference.engine import KVRecoveryConfig
+from repro.inference.resilience import ResiliencePolicy
 from repro.obs import MetricsRegistry
 from repro.parallel.sweep import run_sweep
 from repro.sim import Simulator
 from repro.units import HOUR, MiB
 from repro.workload.model import LLAMA2_13B
-from repro.workload.requests import InferenceRequest
+from repro.workload.requests import InferenceRequest, SLAClass
 
 SeedLike = Union[int, np.random.SeedSequence]
 
@@ -60,6 +78,25 @@ CONTROLLER_MULTIPLIERS_TINY = (0.0, 4000.0)
 #: KV-loss events per engine-hour for the serving sweep.
 SERVING_KV_RATES_PER_HOUR = (0.0, 360.0, 1440.0)
 SERVING_KV_RATES_PER_HOUR_TINY = (0.0, 1440.0)
+
+#: Per-engine-domain strikes per hour for the chaos sweep (power-domain
+#: strikes run at a quarter of this — shared feeds fail rarer than
+#: single engines, but take several engines down at once).
+CHAOS_STRIKE_RATES_PER_HOUR = (0.0, 120.0, 360.0)
+CHAOS_STRIKE_RATES_PER_HOUR_TINY = (0.0, 240.0)
+
+#: The mitigated arm's graceful-degradation knobs.  Queue depth stays
+#: unbounded here so the struck-point comparison isolates crash
+#: recovery; shedding determinism is covered by the unit tests.
+CHAOS_POLICY = ResiliencePolicy(
+    enabled=True,
+    deadline_s=10.0,
+    max_retries=2,
+    retry_backoff_s=0.05,
+    hedge_delay_s=1.0,
+    max_queue_depth=0,
+    restart_delay_s=0.5,
+)
 
 
 def _seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
@@ -82,6 +119,14 @@ def serving_grid(tiny: bool = False) -> List[Dict[str, Any]]:
         SERVING_KV_RATES_PER_HOUR_TINY if tiny else SERVING_KV_RATES_PER_HOUR
     )
     return [{"kv_loss_per_hour": rate} for rate in rates]
+
+
+def chaos_grid(tiny: bool = False) -> List[Dict[str, Any]]:
+    """One point per domain strike rate for :func:`chaos_point`."""
+    rates = (
+        CHAOS_STRIKE_RATES_PER_HOUR_TINY if tiny else CHAOS_STRIKE_RATES_PER_HOUR
+    )
+    return [{"strike_rate_per_hour": rate} for rate in rates]
 
 
 def _controller_arm(
@@ -267,6 +312,114 @@ def serving_point(point: Dict[str, Any], seed: SeedLike) -> Dict[str, Any]:
     }
 
 
+def _chaos_arm(
+    schedule: FaultSchedule,
+    mitigated: bool,
+    num_engines: int,
+    num_requests: int,
+    horizon_s: float,
+    output_tokens: int = 32,
+    arrival_period_s: float = 0.25,
+    observe: bool = False,
+) -> Dict[str, Any]:
+    """Serve the fixed stream through one correlated fault timeline.
+
+    The mitigated arm runs the full stack — :data:`CHAOS_POLICY`
+    dispatching (deadlines, retries, hedging, crash re-dispatch) plus
+    KV recompute-from-prefix; the baseline arm routes around dead
+    engines (plain JSQ liveness) but recovers nothing: a crash fails
+    every resident and queued request.
+
+    Goodput uses the shared schedule horizon as the denominator so the
+    arms are compared over the identical wall-clock window, independent
+    of how long each one's event queue takes to drain.
+    """
+    obs = MetricsRegistry() if observe else None
+    sim = Simulator(obs=obs)
+    cluster = Cluster(
+        sim,
+        tensor_parallel_group(H100_80G, 2),
+        LLAMA2_13B,
+        num_engines=num_engines,
+        max_batch_size=8,
+        kv_recovery=KVRecoveryConfig(enabled=mitigated),
+        resilience=CHAOS_POLICY if mitigated else None,
+        obs=obs,
+    )
+    _process, log = spawn_domain_faults(sim, cluster, schedule, obs=obs)
+    requests = [
+        InferenceRequest(
+            arrival_time=arrival_period_s * i,
+            prompt_tokens=256,
+            output_tokens=output_tokens,
+        )
+        for i in range(num_requests)
+    ]
+    report = cluster.run(requests)
+    interactive = (report.sla_attainment or {}).get(
+        SLAClass.INTERACTIVE, 0.0
+    )
+    result = {
+        "mitigated": mitigated,
+        "log_fingerprint": log.fingerprint(),
+        "availability": report.availability,
+        "goodput_tokens_per_s": report.useful_tokens / horizon_s,
+        "slo_attainment": interactive,
+        "requests_completed": report.requests_completed,
+        "requests_failed": report.requests_failed,
+        "requests_shed": report.requests_shed,
+        "retries": report.retries,
+        "hedges": report.hedges,
+        "hedge_wins": report.hedge_wins,
+        "deadline_timeouts": report.deadline_timeouts,
+        "engine_crashes": report.engine_crashes,
+        "engine_restarts": report.engine_restarts,
+        "kv_recoveries": report.kv_recoveries,
+        "kv_recompute_tokens": report.kv_recompute_tokens,
+        "wasted_tokens": report.wasted_tokens,
+        "time_to_recovery_s": report.time_to_recovery_s,
+    }
+    if obs is not None:
+        result["obs"] = obs.snapshot()
+    return result
+
+
+def chaos_point(point: Dict[str, Any], seed: SeedLike) -> Dict[str, Any]:
+    """One correlated-fault availability measurement: both arms, one
+    domain timeline."""
+    strike_rate_per_hour = float(point["strike_rate_per_hour"])
+    horizon_s = float(point.get("horizon_s", 30.0))
+    num_requests = int(point.get("num_requests", 60))
+    num_engines = int(point.get("num_engines", 3))
+    output_tokens = int(point.get("output_tokens", 32))
+    arrival_period_s = float(point.get("arrival_period_s", 0.25))
+    observe = bool(point.get("observe", False))
+
+    topology = cluster_topology(num_engines, engines_per_domain=2)
+    strike_rates = {}
+    for domain in topology.domains:
+        if domain.level == "engine":
+            strike_rates[domain.name] = strike_rate_per_hour / HOUR
+        elif domain.level == "power":
+            strike_rates[domain.name] = strike_rate_per_hour / (4 * HOUR)
+    schedule = generate_correlated_schedule(
+        topology, strike_rates, horizon_s, _seed_sequence(seed)
+    )
+    return {
+        "strike_rate_per_hour": strike_rate_per_hour,
+        "fault_events": len(schedule),
+        "timeline_fingerprint": schedule.fingerprint(),
+        "baseline": _chaos_arm(
+            schedule, False, num_engines, num_requests, horizon_s,
+            output_tokens, arrival_period_s, observe,
+        ),
+        "mitigated": _chaos_arm(
+            schedule, True, num_engines, num_requests, horizon_s,
+            output_tokens, arrival_period_s, observe,
+        ),
+    }
+
+
 def run_controller_experiment(
     tiny: bool = False,
     root_seed: SeedLike = 0,
@@ -292,6 +445,21 @@ def run_serving_experiment(
     return run_sweep(
         serving_point,
         points if points is not None else serving_grid(tiny),
+        root_seed=root_seed,
+        workers=workers,
+    )
+
+
+def run_chaos_experiment(
+    tiny: bool = False,
+    root_seed: SeedLike = 0,
+    workers: Optional[int] = None,
+    points: Optional[Sequence[Dict[str, Any]]] = None,
+) -> List[Dict[str, Any]]:
+    """Sweep :func:`chaos_point` over the domain-strike grid."""
+    return run_sweep(
+        chaos_point,
+        points if points is not None else chaos_grid(tiny),
         root_seed=root_seed,
         workers=workers,
     )

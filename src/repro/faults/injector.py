@@ -84,6 +84,14 @@ def _pick(magnitude: float, count: int) -> int:
     return min(index, count - 1)
 
 
+#: Kinds the controller injector must leave to the serving layer.
+_SERVING_KINDS = (
+    FaultKind.KV_LOSS,
+    FaultKind.ENGINE_CRASH,
+    FaultKind.DOMAIN_POWER_LOSS,
+)
+
+
 class ControllerFaultInjector:
     """Applies a device-level fault schedule to one controller.
 
@@ -129,7 +137,7 @@ class ControllerFaultInjector:
         while self._cursor < len(events) and events[self._cursor].time_s <= now:
             event = events[self._cursor]
             self._cursor += 1
-            if event.kind is FaultKind.KV_LOSS:
+            if event.kind in _SERVING_KINDS:
                 continue  # serving-layer event; not ours
             self._apply(event)
             fired += 1
@@ -259,4 +267,48 @@ def spawn_kv_faults(
             log.record(event, outcome, detail=index)
 
     process = sim.spawn(_process(), name="kv-fault-injector")
+    return process, log
+
+
+def spawn_domain_faults(
+    sim: Simulator,
+    cluster,
+    schedule: FaultSchedule,
+    log: Optional[FaultLog] = None,
+    obs=None,
+) -> Tuple[Process, FaultLog]:
+    """Deliver a correlated schedule's serving events to a cluster.
+
+    ``ENGINE_CRASH`` events (the per-member expansion of engine and
+    power-domain strikes) call
+    :meth:`~repro.inference.cluster.Cluster.handle_engine_crash` on the
+    named engine; ``DOMAIN_POWER_LOSS`` markers are logged as the strike
+    record (their members arrive as separate events at the same
+    instant).  Device-level kinds in a merged schedule are ignored here,
+    mirroring how :class:`ControllerFaultInjector` ignores serving
+    kinds.
+
+    The timeline is a pure function of the schedule: delivery order is
+    event order, and each outcome (``crashed`` with the displaced count,
+    or ``already-down``) lands in the :class:`FaultLog`, so
+    ``log.fingerprint()`` captures schedule *and* effect.
+    """
+    if log is None:
+        log = FaultLog(obs=obs)
+
+    def _process() -> Generator:
+        for event in schedule:
+            if event.kind is FaultKind.DOMAIN_POWER_LOSS:
+                delay = event.time_s - sim.now
+                if delay > 0:
+                    yield Timeout(delay)
+                log.record(event, "domain-struck")
+            elif event.kind is FaultKind.ENGINE_CRASH:
+                delay = event.time_s - sim.now
+                if delay > 0:
+                    yield Timeout(delay)
+                outcome, detail = cluster.handle_engine_crash(event.device)
+                log.record(event, outcome, detail=detail)
+
+    process = sim.spawn(_process(), name="domain-fault-injector")
     return process, log

@@ -12,6 +12,7 @@ no catalog entry — experiments choose it directly).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional
 
 from repro.devices.base import FaultRateSpec
@@ -49,8 +50,10 @@ def rates_for(
     """
     if capacity_bytes <= 0:
         raise ValueError("capacity must be positive")
-    if kv_loss_per_hour < 0:
-        raise ValueError("kv_loss_per_hour must be >= 0")
+    if math.isnan(rate_multiplier) or rate_multiplier < 0:
+        raise ValueError("rate multiplier must be a number >= 0")
+    if math.isnan(kv_loss_per_hour) or kv_loss_per_hour < 0:
+        raise ValueError("kv_loss_per_hour must be a number >= 0")
     spec = (spec or get_fault_rates(profile_name)).scaled(rate_multiplier)
     gib = capacity_bytes / GiB
     return {
@@ -63,4 +66,10 @@ def rates_for(
         FaultKind.BANK_FAILURE: spec.bank_failures_per_device_year / YEAR,
         FaultKind.DEVICE_FAILURE: spec.device_failures_per_device_year / YEAR,
         FaultKind.KV_LOSS: kv_loss_per_hour * rate_multiplier / HOUR,
+        # Topology-level kinds have no per-device catalog entry: they
+        # are emitted by correlated-domain schedules
+        # (:func:`repro.faults.schedule.generate_correlated_schedule`),
+        # never by the independent per-device generator.
+        FaultKind.ENGINE_CRASH: 0.0,
+        FaultKind.DOMAIN_POWER_LOSS: 0.0,
     }

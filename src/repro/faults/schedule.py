@@ -19,15 +19,28 @@ Because the schedule is a pure function of ``(rates, duration, seed)``,
 the same seed yields a bit-identical timeline whether the run executes
 serially or as one point of a ``repro.parallel.run_sweep`` fan-out —
 the property ``tests/faults/test_determinism.py`` asserts.
+
+:func:`generate_correlated_schedule` extends the contract one level up:
+strikes are drawn per *fault domain* (see :mod:`repro.faults.domains`)
+and each strike expands into per-member events by pure arithmetic on
+the strike's frozen magnitude, so correlated timelines are a pure
+function of ``(topology, rates, horizon, seed)``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.faults.domains import (
+    DomainRates,
+    FaultTopology,
+    spread_magnitude,
+    validate_domain_rates,
+)
 from repro.faults.events import (
     KIND_ORDER,
     FaultEvent,
@@ -80,7 +93,7 @@ def generate_schedule(
     device:
         Device name stamped on every event.
     """
-    if duration_s < 0:
+    if math.isnan(duration_s) or duration_s < 0:
         raise ValueError("duration must be >= 0")
     if isinstance(seed, np.random.SeedSequence):
         rng = np.random.default_rng(seed)
@@ -91,6 +104,8 @@ def generate_schedule(
     drawn: List[Tuple[float, int, int, float]] = []
     for kind_index, kind in enumerate(KIND_ORDER):
         rate = rates.get(kind, 0.0)
+        if math.isnan(rate) or math.isinf(rate):
+            raise ValueError(f"non-finite rate for {kind.value}")
         if rate < 0:
             raise ValueError(f"negative rate for {kind.value}")
         if rate == 0 or duration_s == 0:
@@ -122,6 +137,91 @@ def generate_schedule(
             seq=seq,
         )
         for seq, (time_s, kind_index, _draw, magnitude) in enumerate(drawn)
+    )
+    return FaultSchedule(events=events, duration_s=float(duration_s))
+
+
+def generate_correlated_schedule(
+    topology: FaultTopology,
+    strike_rates: DomainRates,
+    duration_s: float,
+    seed: SeedLike,
+) -> FaultSchedule:
+    """Draw a domain-correlated fault timeline for one run.
+
+    Strikes are Poisson per domain, drawn in topology declaration order
+    from one generator (same discipline as :func:`generate_schedule`'s
+    per-kind streams).  Each strike freezes one uniform magnitude; the
+    expansion into per-member events is pure arithmetic on that draw
+    (:func:`~repro.faults.domains.spread_magnitude`), so the whole
+    timeline — including every member event — is a pure function of
+    ``(topology, rates, horizon, seed)``.
+
+    Expansion per strike, all at the strike instant:
+
+    - ``power`` domains emit a ``DOMAIN_POWER_LOSS`` marker (device =
+      domain name) followed by one ``ENGINE_CRASH`` per member engine;
+    - ``engine`` and ``bank-group`` domains emit member events only
+      (``ENGINE_CRASH`` / ``BANK_FAILURE``, device = member name).
+
+    Unlike :func:`generate_schedule`, a zero horizon is rejected: a
+    correlated availability run with nothing to observe is a config
+    error, not an empty timeline.
+    """
+    topology.validate()
+    rates = validate_domain_rates(topology, strike_rates)
+    if math.isnan(duration_s) or duration_s <= 0:
+        raise ValueError("horizon must be > 0 for a correlated schedule")
+    if isinstance(seed, np.random.SeedSequence):
+        rng = np.random.default_rng(seed)
+    else:
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+    # (time, domain_index, draw_index, member_slot, kind, device,
+    # magnitude): member_slot -1 is the domain marker, 0.. the members.
+    drawn: List[Tuple[float, int, int, int, FaultKind, str, float]] = []
+    for domain_index, domain in enumerate(topology.domains):
+        rate = rates.get(domain.name, 0.0)
+        if rate == 0:
+            continue
+        times: List[float] = []
+        t = 0.0
+        batch = max(8, int(rate * duration_s * 1.5) + 8)
+        while t < duration_s:
+            gaps = rng.exponential(1.0 / rate, size=batch)
+            for gap in gaps:
+                t += float(gap)
+                if t >= duration_s:
+                    break
+                times.append(t)
+        magnitudes = rng.random(size=len(times))
+        member_kind = domain.member_kind()
+        for draw_index, (time_s, magnitude) in enumerate(
+            zip(times, magnitudes)
+        ):
+            strike_mag = float(magnitude)
+            if domain.level == "power":
+                drawn.append((
+                    time_s, domain_index, draw_index, -1,
+                    FaultKind.DOMAIN_POWER_LOSS, domain.name, strike_mag,
+                ))
+            for member_index, member in enumerate(domain.members):
+                drawn.append((
+                    time_s, domain_index, draw_index, member_index,
+                    member_kind, member,
+                    spread_magnitude(strike_mag, member_index),
+                ))
+    drawn.sort(key=lambda item: (item[0], item[1], item[2], item[3]))
+    events = tuple(
+        FaultEvent(
+            time_s=time_s,
+            kind=kind,
+            device=device,
+            magnitude=magnitude,
+            seq=seq,
+        )
+        for seq, (time_s, _d, _i, _m, kind, device, magnitude) in enumerate(
+            drawn
+        )
     )
     return FaultSchedule(events=events, duration_s=float(duration_s))
 

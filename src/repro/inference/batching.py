@@ -97,6 +97,24 @@ class BatchScheduler:
             key=lambda r: (_SLA_PRIORITY[r.sla], r.arrival_time, r.request_id)
         )
 
+    def remove_pending(self, request_id: int) -> Optional[InferenceRequest]:
+        """Withdraw a queued request (hedging/retry cancellation).
+
+        Returns the request, or None when it is not queued here (it may
+        be running, finished, or on another engine).
+        """
+        for index, request in enumerate(self._pending):
+            if request.request_id == request_id:
+                return self._pending.pop(index)
+        return None
+
+    def pop_pending(self) -> List[InferenceRequest]:
+        """Take the whole queue (an engine crash loses it); priority
+        order, which nests arrival order within each SLA class."""
+        pending = self._pending
+        self._pending = []
+        return pending
+
     @property
     def pending_count(self) -> int:
         return len(self._pending)

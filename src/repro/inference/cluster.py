@@ -23,10 +23,15 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.inference.accelerator import AcceleratorConfig, MemoryTierSpec
+from repro.inference.batching import RunningContext
 from repro.inference.engine import InferenceEngine, KVRecoveryConfig
+from repro.inference.resilience import ResiliencePolicy, ResilientDispatcher
 from repro.sim import Simulator
 from repro.workload.model import ModelConfig
 from repro.workload.requests import InferenceRequest, SLAClass
+
+#: Outage length of a crashed engine when no resilience policy names one.
+DEFAULT_RESTART_DELAY_S = 0.5
 
 
 def tensor_parallel_group(
@@ -98,11 +103,29 @@ class ClusterReport:
     kv_recoveries: int = 0
     #: Tokens of work redone by those recoveries.
     kv_recompute_tokens: int = 0
+    #: Resilience-layer outcomes (zero without a dispatcher).
+    requests_shed: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    deadline_timeouts: int = 0
+    engine_crashes: int = 0
+    engine_restarts: int = 0
+    #: Decode tokens thrown away (failed, cancelled or hedged-out arms).
+    wasted_tokens: int = 0
+    #: Output tokens of requests that actually completed — the goodput
+    #: numerator the availability experiments compare.
+    useful_tokens: int = 0
+    #: Worst crash-to-displaced-request-completion time (0 = no crash
+    #: displaced anything, or nothing displaced completed).
+    time_to_recovery_s: float = 0.0
 
     @property
     def availability(self) -> float:
         """Fraction of finished requests actually served."""
-        finished = self.requests_completed + self.requests_failed
+        finished = (
+            self.requests_completed + self.requests_failed + self.requests_shed
+        )
         if finished == 0:
             return 1.0
         return self.requests_completed / finished
@@ -114,6 +137,16 @@ class ClusterReport:
             return 0.0
         useful = max(0, self.tokens_generated - self.kv_recompute_tokens)
         return useful / self.duration_s
+
+    @property
+    def delivered_goodput_tokens_per_s(self) -> float:
+        """Output tokens of *completed* requests per second — the strict
+        goodput definition the chaos experiments rank arms by (work
+        thrown away by failures, sheds, cancels and recomputes never
+        enters the numerator)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.useful_tokens / self.duration_s
 
     @property
     def tokens_per_joule(self) -> float:
@@ -136,6 +169,7 @@ class Cluster:
         max_batch_size: int = 16,
         enable_prefix_sharing: bool = False,
         kv_recovery: Optional[KVRecoveryConfig] = None,
+        resilience: Optional[ResiliencePolicy] = None,
         obs=None,
     ) -> None:
         if num_engines < 1:
@@ -144,6 +178,7 @@ class Cluster:
         self.accelerator = accelerator
         self.model = model
         self.obs = obs
+        self.resilience = resilience
         self.engines: List[InferenceEngine] = [
             InferenceEngine(
                 sim,
@@ -158,18 +193,32 @@ class Cluster:
             )
             for i in range(num_engines)
         ]
+        self.dispatcher: Optional[ResilientDispatcher] = None
+        if resilience is not None and resilience.enabled:
+            self.dispatcher = ResilientDispatcher(
+                sim, self, resilience, obs=obs
+            )
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def _least_loaded(self) -> InferenceEngine:
+        # Route around crashed engines; with the whole fleet down, fall
+        # back to any engine's queue (it serves once it restarts).
+        candidates = [e for e in self.engines if e.up] or self.engines
         return min(
-            self.engines,
+            candidates,
             key=lambda e: (
                 e.scheduler.pending_count + e.scheduler.batch_size,
                 e.name,
             ),
         )
+
+    def _deliver(self, request: InferenceRequest) -> None:
+        if self.dispatcher is not None:
+            self.dispatcher.submit(request)
+        else:
+            self._least_loaded().submit(request)
 
     def submit_stream(self, requests: Iterable[InferenceRequest]) -> int:
         """Schedule every request's arrival; returns the count."""
@@ -177,28 +226,67 @@ class Cluster:
         for request in requests:
             self.sim.schedule_at(
                 request.arrival_time,
-                lambda _ev, r=request: self._least_loaded().submit(r),
+                lambda _ev, r=request: self._deliver(r),
                 name=f"arrival-{request.request_id}",
             )
             count += 1
         return count
 
+    # ------------------------------------------------------------------
+    # Fault handling (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def handle_engine_crash(self, name: str):
+        """Crash the named engine; returns ``(outcome, detail)``.
+
+        With a dispatcher, displaced requests (recoverable running
+        contexts and the lost pending queue) re-route to live engines.
+        Without one (the no-mitigation baseline, or a pre-resilience
+        caller), recompute-eligible running requests still re-dispatch
+        via JSQ — that mitigation belongs to ``kv_recovery``, which
+        produced them — but the lost queue simply fails.
+        """
+        engine = next((e for e in self.engines if e.name == name), None)
+        if engine is None:
+            raise ValueError(f"no engine named {name!r} in this cluster")
+        if not engine.up:
+            return "already-down", 0
+        delay = (
+            self.resilience.restart_delay_s
+            if self.resilience is not None
+            else DEFAULT_RESTART_DELAY_S
+        )
+        displaced, dropped_pending = engine.crash(delay)
+        if self.dispatcher is not None:
+            self.dispatcher.on_engine_crash(
+                engine, displaced + dropped_pending
+            )
+        else:
+            for request in displaced:
+                self._least_loaded().submit(request)
+            for request in dropped_pending:
+                # The queue died with the engine: account each entry as a
+                # failed request (it never had a running context).
+                engine._fail(RunningContext(request=request))
+        return "crashed", len(displaced) + len(dropped_pending)
+
     def run(self, requests: Iterable[InferenceRequest]) -> ClusterReport:
         """Run the full stream to completion and report."""
         submitted = self.submit_stream(requests)
-        last_arrival = self.sim.pending_events()
         # Drain once all arrivals have been delivered: schedule the drain
         # after the furthest arrival by running the event loop in stages.
         self.sim.run()
         for engine in self.engines:
             engine.drain()
         self.sim.run()
-        finished = sum(
-            int(e.metrics.counter("requests_completed").value)
-            + int(e.metrics.counter("requests_failed").value)
-            for e in self.engines
-        )
-        incomplete = submitted - finished
+        if self.dispatcher is not None:
+            incomplete = submitted - self.dispatcher.settled
+        else:
+            finished = sum(
+                int(e.metrics.counter("requests_completed").value)
+                + int(e.metrics.counter("requests_failed").value)
+                for e in self.engines
+            )
+            incomplete = submitted - finished
         if incomplete:
             raise RuntimeError(f"{incomplete} requests never completed")
         return self.report()
@@ -206,9 +294,29 @@ class Cluster:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def _work_end(self) -> float:
+        """When serving actually finished: the last completion, failure
+        or shed.  ``sim.now`` overstates it once resilience timers are
+        in play — a deadline scheduled for t+30 for a request that
+        finished at t+2 still drains through the event queue (stale
+        timers are generation-guarded no-ops, never unqueued) and would
+        otherwise stretch every rate metric's denominator.
+        """
+        end = 0.0
+        for engine in self.engines:
+            for context in engine.completed:
+                if context.finished_at is not None and context.finished_at > end:
+                    end = context.finished_at
+            for context in engine.failed:
+                if context.finished_at is not None and context.finished_at > end:
+                    end = context.finished_at
+        if self.dispatcher is not None and self.dispatcher.last_settle_s > end:
+            end = self.dispatcher.last_settle_s
+        return end if end > 0 else self.sim.now
+
     def report(self) -> ClusterReport:
         summaries = [e.summarize() for e in self.engines]
-        duration = self.sim.now
+        duration = self._work_end() if self.dispatcher is not None else self.sim.now
         tokens = sum(s.tokens_generated for s in summaries)
         requests = sum(s.requests_completed for s in summaries)
         tier_reads: Dict[str, float] = {}
@@ -242,6 +350,28 @@ class Cluster:
             self.accelerator.board_power_w * s.busy_time_s for s in summaries
         )
         sla_attainment = self._sla_attainment()
+        useful_tokens = sum(
+            context.request.output_tokens
+            for engine in self.engines
+            for context in engine.completed
+        )
+        dispatcher = self.dispatcher
+        if dispatcher is not None:
+            # Engine "failed" counters tally per-arm teardowns, some of
+            # which the dispatcher retried to completion; the settled
+            # outcomes are the request-level truth.
+            requests_failed = dispatcher.failed
+            resilience_fields = dict(
+                requests_shed=dispatcher.shed,
+                retries=dispatcher.retries,
+                hedges=dispatcher.hedges,
+                hedge_wins=dispatcher.hedge_wins,
+                deadline_timeouts=dispatcher.deadline_timeouts,
+                time_to_recovery_s=dispatcher.time_to_recovery_s,
+            )
+        else:
+            requests_failed = sum(s.requests_failed for s in summaries)
+            resilience_fields = {}
         return ClusterReport(
             engines=len(self.engines),
             duration_s=duration,
@@ -260,9 +390,14 @@ class Cluster:
             access_energy_j=sum(s.access_energy_j for s in summaries),
             board_energy_j=board_energy,
             sla_attainment=sla_attainment,
-            requests_failed=sum(s.requests_failed for s in summaries),
+            requests_failed=requests_failed,
             kv_recoveries=sum(s.kv_recoveries for s in summaries),
             kv_recompute_tokens=sum(s.kv_recompute_tokens for s in summaries),
+            engine_crashes=sum(s.engine_crashes for s in summaries),
+            engine_restarts=sum(s.engine_restarts for s in summaries),
+            wasted_tokens=sum(s.wasted_tokens for s in summaries),
+            useful_tokens=useful_tokens,
+            **resilience_fields,
         )
 
     def _sla_attainment(

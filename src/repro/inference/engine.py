@@ -18,14 +18,20 @@ memory-vs-compute-bound step tally (experiment E4's numerator).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Mapping, Optional
+from typing import Callable, Dict, Generator, List, Mapping, Optional
 
 from repro.inference.accelerator import AcceleratorConfig
 from repro.inference.batching import BatchScheduler, RunningContext
 from repro.inference.kvcache import KVCacheManager
 from repro.inference.roofline import Boundedness, RooflineModel
 from repro.obs import NULL_REGISTRY
-from repro.sim import Histogram, MetricRegistry, Simulator, Timeout
+from repro.sim import (
+    Histogram,
+    Interrupted,
+    MetricRegistry,
+    Simulator,
+    Timeout,
+)
 from repro.workload.model import ModelConfig
 from repro.workload.phases import (
     decode_step_traffic_batch,
@@ -34,6 +40,21 @@ from repro.workload.phases import (
 from repro.workload.requests import InferenceRequest
 
 DEFAULT_PLACEMENT = {"weights": "hbm", "kv": "hbm", "activations": "hbm"}
+
+
+class EngineCrashed(Interrupted):
+    """Thrown into a serving loop when its engine crashes.
+
+    Subclassing :class:`~repro.sim.Interrupted` means a loop that does
+    not catch it dies quietly instead of surfacing as a
+    ``SimProcessError``; :meth:`InferenceEngine._serve_loop` catches it,
+    sleeps through the outage and restarts.  Carries the restart delay
+    so the crash site decides the outage length, not the loop.
+    """
+
+    def __init__(self, restart_delay_s: float) -> None:
+        super().__init__(f"engine crashed; restart in {restart_delay_s}s")
+        self.restart_delay_s = restart_delay_s
 
 
 @dataclass(frozen=True)
@@ -96,6 +117,10 @@ class EngineMetrics:
     kv_losses: int = 0
     kv_recoveries: int = 0
     kv_recompute_tokens: int = 0
+    requests_cancelled: int = 0
+    wasted_tokens: int = 0
+    engine_crashes: int = 0
+    engine_restarts: int = 0
 
     @property
     def memory_bound_fraction(self) -> float:
@@ -185,6 +210,7 @@ class InferenceEngine:
         self._obs_compute_steps = o.counter("engine.compute_bound_steps_total", engine=engine)
         self._obs_ttft = o.histogram("engine.ttft_s", engine=engine)
         self._obs_tbt = o.histogram("engine.tbt_s", engine=engine)
+        self._obs_crashes = o.counter("engine.crashes_total", engine=engine)
         self.completed: List[RunningContext] = []
         self.kv_recovery = kv_recovery or KVRecoveryConfig()
         #: requests dropped after exhausting their recovery budget (or
@@ -195,6 +221,17 @@ class InferenceEngine:
         self._process = sim.spawn(self._serve_loop(), name=self.name)
         self._busy_time = 0.0
         self._draining = False
+        #: False while crashed; the JSQ router skips down engines.
+        self.up = True
+        #: Simulated time the current outage ends (meaningful when not
+        #: ``up``); dispatchers use it to defer work instead of shedding.
+        self.down_until = 0.0
+        #: Called as ``listener(context, outcome)`` when a request leaves
+        #: the engine terminally (outcome ``"completed"``/``"failed"``) —
+        #: the hook a resilience dispatcher hangs its trackers on.
+        self.request_listener: Optional[
+            Callable[[RunningContext, str], None]
+        ] = None
 
     # ------------------------------------------------------------------
     # External interface
@@ -261,15 +298,122 @@ class InferenceEngine:
             self.scheduler.enqueue(context.request)
             self._wake()
             return "recovered"
+        self._fail(context)
+        return "failed"
+
+    def _fail(self, context: RunningContext) -> None:
+        """Terminal failure: account it and tell the dispatcher."""
+        context.finished_at = self.sim.now
         self.failed.append(context)
         self.metrics.counter("requests_failed").add(1)
+        # Tokens already decoded for a failed request were wasted work.
+        self.metrics.counter("wasted_tokens").add(context.generated)
         self._obs_failed.add()
-        return "failed"
+        listener = self.request_listener
+        if listener is not None:
+            listener(context, "failed")
+
+    def crash(self, restart_delay_s: float):
+        """Kill this engine at the current instant.
+
+        Every resident KV context is gone and the pending queue with it.
+        Returns ``(displaced, dropped_pending)``: running requests with
+        recovery budget left are *displaced* — handed back for
+        recompute-from-prefix on another engine (or this one, after
+        restart) with the usual recompute accounting — while the rest
+        fail here; ``dropped_pending`` is the lost queue, whose fate
+        (re-route or fail) is the caller's mitigation decision.
+
+        The serving loop is interrupted (cancelling whatever iteration
+        timer it was sleeping on via the kernel's generation check) and
+        sleeps ``restart_delay_s`` before coming back up.
+        """
+        if restart_delay_s <= 0:
+            raise ValueError("restart delay must be > 0")
+        if not self.up:
+            return [], []
+        self.up = False
+        self.down_until = self.sim.now + restart_delay_s
+        self.metrics.counter("engine_crashes").add(1)
+        self._obs_crashes.add()
+        displaced: List[InferenceRequest] = []
+        cfg = self.kv_recovery
+        for context_id in sorted(self.scheduler.running):
+            context = self.scheduler.running[context_id]
+            self.kv.release(context_id)
+            self.scheduler.finish(context_id)
+            self.metrics.counter("kv_losses").add(1)
+            self._obs_kv_losses.add()
+            used = self._kv_recoveries.get(context_id, 0)
+            if cfg.enabled and used < cfg.max_recoveries_per_request:
+                self._kv_recoveries[context_id] = used + 1
+                self.metrics.counter("kv_recoveries").add(1)
+                self.metrics.counter("kv_recompute_tokens").add(
+                    context.context_tokens
+                )
+                self._obs_kv_recoveries.add()
+                self._obs_recompute.add(context.context_tokens)
+                displaced.append(context.request)
+            else:
+                self._fail(context)
+        dropped_pending = self.scheduler.pop_pending()
+        if self._process.alive:
+            self._process.interrupt(EngineCrashed(restart_delay_s))
+        else:
+            # Crashed after the loop drained: restart by callback so the
+            # engine still comes back up for late re-dispatches.  Crash
+            # handling is a per-fault cold path, not a per-event one.
+            self.sim.schedule(
+                restart_delay_s,
+                lambda _event: self._restart(),  # repro-lint: disable=RL019
+                name=f"{self.name}-restart",
+            )
+        return displaced, dropped_pending
+
+    def _restart(self) -> None:
+        self.up = True
+        self._wakeup = self.sim.event(name=f"{self.name}-wakeup")
+        self.metrics.counter("engine_restarts").add(1)
+
+    def cancel(self, request_id: int) -> bool:
+        """Withdraw a request: neither completed nor failed.
+
+        The hedging/retry path: the dispatcher cancels the losing
+        sibling (or a timed-out attempt).  A pending request is simply
+        dropped; a running one is torn down and its decoded tokens
+        counted as wasted work.  Returns False when the request is not
+        resident here (already finished, or never dispatched here).
+        """
+        if self.scheduler.remove_pending(request_id):
+            self.metrics.counter("requests_cancelled").add(1)
+            return True
+        context = self.scheduler.running.get(request_id)
+        if context is None:
+            return False
+        self.kv.release(request_id)
+        self.scheduler.finish(request_id)
+        self.metrics.counter("requests_cancelled").add(1)
+        self.metrics.counter("wasted_tokens").add(context.generated)
+        return True
 
     # ------------------------------------------------------------------
     # The loop
     # ------------------------------------------------------------------
     def _serve_loop(self) -> Generator:
+        while True:
+            try:
+                yield from self._serve_pass()
+            except EngineCrashed as crash:
+                # The outage: whatever iteration timer the loop slept on
+                # is a stale wakeup now (the interrupt bumped the wait
+                # generation), so only this restart timer can resume us.
+                yield Timeout(crash.restart_delay_s)
+                self._restart()
+                continue
+            return
+
+    def _serve_pass(self) -> Generator:
+        """The pre-crash serving loop; returns only on drain."""
         while True:
             if not self.scheduler.has_work():
                 if self._draining:
@@ -386,12 +530,19 @@ class InferenceEngine:
             self.kv.release_batch([c.context_id for c in finished])
             completed_counter = self.metrics.counter("requests_completed")
             hist_latency = self.metrics.histogram("request_latency_s")
+            listener = self.request_listener
             for context in finished:
                 self.scheduler.finish(context.context_id)
                 self.completed.append(context)
                 hist_latency.observe(now - context.request.arrival_time)
             completed_counter.add(len(finished))
             self._obs_completed.add(len(finished))
+            if listener is not None:
+                # After the batch bookkeeping: a listener reaction (e.g.
+                # cancelling a hedge sibling on another engine) must not
+                # interleave with this engine's own counters.
+                for context in finished:
+                    listener(context, "completed")
 
     # ------------------------------------------------------------------
     # Accounting
@@ -447,4 +598,8 @@ class InferenceEngine:
             kv_losses=int(m.counter("kv_losses").value),
             kv_recoveries=int(m.counter("kv_recoveries").value),
             kv_recompute_tokens=int(m.counter("kv_recompute_tokens").value),
+            requests_cancelled=int(m.counter("requests_cancelled").value),
+            wasted_tokens=int(m.counter("wasted_tokens").value),
+            engine_crashes=int(m.counter("engine_crashes").value),
+            engine_restarts=int(m.counter("engine_restarts").value),
         )

@@ -9,7 +9,12 @@ one JSON-able result dict out.  Each point carries a
   discrete-event kernel and runs the trace to completion (exact);
 - ``"analytic"`` evaluates the *same trace* through
   :func:`repro.inference.analytic.analytic_cluster_report`
-  (closed-form, ~100-1000x faster).
+  (closed-form, ~100-1000x faster);
+- ``"auto"`` tries analytic first and falls back to the DES when the
+  scenario is outside the analytic envelope
+  (:class:`~repro.inference.analytic.UnsupportedScenario`), recording
+  the fallback in the result row.  Explicit ``"analytic"`` stays
+  strict so validity-envelope violations still fail loudly.
 
 Both modes derive the trace from the point's sweep seed, so a DES sweep
 and an analytic sweep at the same ``root_seed`` see identical request
@@ -31,8 +36,11 @@ import numpy as np
 
 from repro.parallel import run_sweep
 
-#: Evaluation modes a sweep point may select.
-SERVE_MODES = ("des", "analytic")
+#: Evaluation modes a sweep point may select.  ``"auto"`` tries the
+#: analytic evaluator first and falls back to the DES on
+#: :class:`~repro.inference.analytic.UnsupportedScenario`; explicit
+#: ``"analytic"`` stays strict (the error propagates).
+SERVE_MODES = ("des", "analytic", "auto")
 
 #: Metrics compared by :func:`cross_validate`, with the shared relative
 #: tolerance.  Count metrics (requests, tokens) and KV byte traffic are
@@ -141,7 +149,10 @@ def serve_point(point: Mapping[str, Any], seed: np.random.SeedSequence) -> dict:
     ``(grid index, root_seed)`` sees the same request stream in both
     modes.
     """
-    from repro.inference.analytic import analytic_cluster_report
+    from repro.inference.analytic import (
+        UnsupportedScenario,
+        analytic_cluster_report,
+    )
     from repro.inference.cluster import Cluster
     from repro.sim import Simulator
     from repro.workload.requests import PoissonArrivals
@@ -155,15 +166,24 @@ def serve_point(point: Mapping[str, Any], seed: np.random.SeedSequence) -> dict:
         duration_s=float(merged["duration"]),
         seed=trace_seed,
     )
-    if merged["mode"] == "analytic":
-        report = analytic_cluster_report(
-            accelerator,
-            model,
-            replay_trace(trace),
-            num_engines=int(merged["engines"]),
-            max_batch_size=int(merged["batch"]),
-        )
-    else:
+    mode = merged["mode"]
+    report = None
+    fallback = False
+    if mode in ("analytic", "auto"):
+        try:
+            report = analytic_cluster_report(
+                accelerator,
+                model,
+                replay_trace(trace),
+                num_engines=int(merged["engines"]),
+                max_batch_size=int(merged["batch"]),
+            )
+            evaluated = "analytic"
+        except UnsupportedScenario:
+            if mode == "analytic":
+                raise  # explicit analytic stays strict
+            fallback = True
+    if report is None:
         sim = Simulator()
         cluster = Cluster(
             sim,
@@ -173,8 +193,14 @@ def serve_point(point: Mapping[str, Any], seed: np.random.SeedSequence) -> dict:
             max_batch_size=int(merged["batch"]),
         )
         report = cluster.run(replay_trace(trace))
+        evaluated = "des"
     result = report_to_dict(report)
-    result["mode"] = merged["mode"]
+    # ``mode`` reports the evaluator that actually ran; auto points also
+    # carry the request and whether the analytic evaluator declined.
+    result["mode"] = evaluated
+    if mode == "auto":
+        result["requested_mode"] = "auto"
+        result["analytic_fallback"] = fallback
     return result
 
 

@@ -25,6 +25,7 @@ from repro.lint.rules.floats import FloatEqualityRule
 from repro.lint.rules.obs import ObsDeterminismRule
 from repro.lint.rules.parallelism import AdHocParallelismRule
 from repro.lint.rules.provenance import DeviceProvenanceRule
+from repro.lint.rules.retries import UnboundedResilienceRule
 from repro.lint.rules.simhygiene import SimProcessHygieneRule
 from repro.lint.rules.units import MagicUnitLiteralRule, MixedSizeUnitsRule
 
@@ -41,11 +42,12 @@ RULE_CLASSES: List[Type[Rule]] = [
     AdHocParallelismRule,  # RL009
     SwallowedExceptionRule,  # RL010
     ObsDeterminismRule,  # RL011
+    UnboundedResilienceRule,  # RL020 (RL012-RL019 are interprocedural)
 ]
 
 
 def all_rule_ids() -> Set[str]:
-    """Every registered id: per-file (RL001-RL011), dataflow
+    """Every registered id: per-file (RL001-RL011, RL020), dataflow
     (RL012-RL015), effects (RL016-RL019)."""
     # Imported lazily: dataflow/effects modules use rules.base helpers,
     # so a top-level import here would be circular.

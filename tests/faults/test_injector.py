@@ -279,3 +279,93 @@ class TestControllerFaultInjector:
             injector.apply_until(10.0)
             prints.append(injector.log.fingerprint())
         assert prints[0] == prints[1]
+
+
+class TestConcurrentFaultCohort:
+    """Retention violation + bank failure landing in one cohort (same
+    timestamp) on one controller: the mitigation ladder must apply in
+    seq order and stay deterministic."""
+
+    def _cohort(self, bank_first=True):
+        # Same instant; seq decides the application order inside the
+        # cohort.  Magnitude 0.1 -> zone 0 (holds written data);
+        # magnitude 0.9 -> a high-index victim in zone 1, so the two
+        # faults strike disjoint blocks.
+        kinds = [
+            (FaultKind.BANK_FAILURE, 0.1),
+            (FaultKind.RETENTION_VIOLATION, 0.9),
+        ]
+        if not bank_first:
+            kinds.reverse()
+        return schedule_of(
+            *(
+                event(kind, time_s=5.0, magnitude=magnitude, seq=seq)
+                for seq, (kind, magnitude) in enumerate(kinds)
+            )
+        )
+
+    def test_ladder_applies_both_and_recovers(self):
+        controller = make_controller(mitigated=True)
+        blocks = write_blocks(controller, count=8)
+        injector = ControllerFaultInjector(controller, self._cohort())
+        assert injector.apply_until(5.0) == 2
+        # Both arms of the cohort landed, in seq order.
+        assert [e["kind"] for e in injector.log.entries] == [
+            "bank-failure", "retention-violation",
+        ]
+        assert [e["seq"] for e in injector.log.entries] == [0, 1]
+        assert controller.stats.remapped_zones == 1
+        # The aged survivor climbs the ladder: retries exhaust, the
+        # escalated refresh restores it from the durable copy.
+        live = [b for b in blocks if b.state is BlockState.VALID]
+        assert live, "bank failure took out more than its own zone"
+        result = controller.read_with_recovery(live, 5.0)
+        assert result.ok
+        assert controller.stats.escalated_refreshes == 1
+        assert (
+            controller.stats.read_retries
+            == RecoveryConfig().max_read_retries
+        )
+
+    def test_unmitigated_cohort_loses_data(self):
+        controller = make_controller(mitigated=False)
+        blocks = write_blocks(controller, count=8)
+        injector = ControllerFaultInjector(controller, self._cohort())
+        injector.apply_until(5.0)
+        assert controller.stats.remapped_zones == 0
+        live = [b for b in blocks if b.state is BlockState.VALID]
+        result = controller.read_with_recovery(live, 5.0)
+        # No escalation rung: the severely aged block stays lost.
+        assert not result.ok
+        assert controller.stats.escalated_refreshes == 0
+        assert len(result.lost_blocks) == 1
+
+    def test_cohort_fingerprint_stable(self):
+        prints = []
+        for _ in range(3):
+            controller = make_controller(mitigated=True)
+            write_blocks(controller, count=8)
+            injector = ControllerFaultInjector(controller, self._cohort())
+            injector.apply_until(10.0)
+            controller.read_with_recovery(
+                [
+                    b
+                    for b in controller.device.space.valid_blocks()
+                ],
+                5.0,
+            )
+            prints.append(injector.log.fingerprint())
+        assert len(set(prints)) == 1
+
+    def test_cohort_order_follows_seq_not_kind(self):
+        """Swapping seq inside the cohort swaps the application order:
+        ordering is the schedule's seq, nothing implicit."""
+        controller = make_controller(mitigated=True)
+        write_blocks(controller, count=8)
+        injector = ControllerFaultInjector(
+            controller, self._cohort(bank_first=False)
+        )
+        injector.apply_until(5.0)
+        assert [e["kind"] for e in injector.log.entries] == [
+            "retention-violation", "bank-failure",
+        ]

@@ -591,7 +591,7 @@ class TestEffectsCLI:
 
     def test_unknown_effects_rule_id_exits_two(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)
-        assert main(["--select", "RL020", str(tmp_path)]) == EXIT_USAGE
+        assert main(["--select", "RL099", str(tmp_path)]) == EXIT_USAGE
         assert "error:" in capsys.readouterr().err
 
     def test_effects_report_written(self, tmp_path, monkeypatch):

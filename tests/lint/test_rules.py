@@ -527,3 +527,137 @@ class TestRL011ObsDeterminism:
         """
         findings = run_lint(tmp_path, source)
         assert "RL011" not in rule_ids(findings)
+
+
+class TestRL020UnboundedResilience:
+    SERVE_PATH = "repro/inference/policy.py"
+    FAULT_PATH = "repro/faults/driver.py"
+
+    def test_unbounded_retry_loop_flagged(self, tmp_path):
+        source = """\
+            def deliver(send, request):
+                attempts = 0
+                while True:
+                    if send(request):
+                        return
+                    attempts += 1
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SERVE_PATH)
+        assert "RL020" in rule_ids(findings)
+
+    def test_unbounded_retry_loop_flagged_in_faults(self, tmp_path):
+        source = """\
+            def inject(apply, event):
+                retries = 0
+                while True:
+                    if apply(event):
+                        return
+                    retries += 1
+        """
+        findings = run_lint(tmp_path, source, relpath=self.FAULT_PATH)
+        assert "RL020" in rule_ids(findings)
+
+    def test_budgeted_retry_loop_clean(self, tmp_path):
+        source = """\
+            def deliver(send, request, max_retries):
+                attempts = 0
+                while True:
+                    if send(request):
+                        return
+                    if attempts >= max_retries:
+                        return
+                    attempts += 1
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SERVE_PATH)
+        assert "RL020" not in rule_ids(findings)
+
+    def test_raising_retry_loop_clean(self, tmp_path):
+        source = """\
+            def deliver(send, request):
+                attempts = 0
+                while True:
+                    if send(request):
+                        return
+                    attempts += 1
+                    raise RuntimeError("gave up")
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SERVE_PATH)
+        assert "RL020" not in rule_ids(findings)
+
+    def test_for_range_retry_clean(self, tmp_path):
+        source = """\
+            def deliver(send, request, budget):
+                for attempt in range(budget):
+                    if send(request):
+                        return
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SERVE_PATH)
+        assert "RL020" not in rule_ids(findings)
+
+    def test_non_retry_event_loop_clean(self, tmp_path):
+        source = """\
+            def pump(queue, handle):
+                while True:
+                    item = queue.pop()
+                    if item is None:
+                        return
+                    handle(item)
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SERVE_PATH)
+        assert "RL020" not in rule_ids(findings)
+
+    def test_wait_without_timeout_flagged(self, tmp_path):
+        source = """\
+            def drain(event):
+                event.wait()
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SERVE_PATH)
+        assert "RL020" in rule_ids(findings)
+
+    def test_acquire_without_timeout_flagged(self, tmp_path):
+        source = """\
+            def hold(lock):
+                lock.acquire()
+        """
+        findings = run_lint(tmp_path, source, relpath=self.FAULT_PATH)
+        assert "RL020" in rule_ids(findings)
+
+    def test_wait_with_timeout_kwarg_clean(self, tmp_path):
+        source = """\
+            def drain(event, condition, pred):
+                event.wait(timeout=5.0)
+                condition.wait_for(pred, timeout=1.0)
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SERVE_PATH)
+        assert "RL020" not in rule_ids(findings)
+
+    def test_wait_with_positional_timeout_clean(self, tmp_path):
+        source = """\
+            def drain(event, condition, pred):
+                event.wait(5.0)
+                condition.wait_for(pred, 1.0)
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SERVE_PATH)
+        assert "RL020" not in rule_ids(findings)
+
+    def test_str_join_not_confused(self, tmp_path):
+        # join/get are deliberately out of scope: too many benign
+        # namesakes (str.join, dict.get).
+        source = """\
+            def render(parts):
+                return ", ".join(parts)
+        """
+        findings = run_lint(tmp_path, source, relpath=self.SERVE_PATH)
+        assert "RL020" not in rule_ids(findings)
+
+    def test_outside_resilience_packages_not_checked(self, tmp_path):
+        source = """\
+            def deliver(send, request):
+                attempts = 0
+                while True:
+                    if send(request):
+                        return
+                    attempts += 1
+        """
+        findings = run_lint(tmp_path, source, relpath="repro/core/x.py")
+        assert "RL020" not in rule_ids(findings)

@@ -206,6 +206,130 @@ class TestFaultsCommand:
         assert "sim.events_total{arm=mitigated}" in counters
 
 
+class TestAutoMode:
+    def test_serve_auto_in_envelope(self, capsys):
+        assert main(
+            ["serve", "--mode", "auto", "--duration", "5", "--engines", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput tok/s" in out
+        assert "falling back" not in out
+
+    def test_serve_auto_falls_back_on_overload(self, capsys):
+        # rho >> 1 on one engine: the analytic stability guard raises
+        # UnsupportedScenario; auto degrades to the DES instead of
+        # exiting 2.
+        assert main(
+            ["serve", "--mode", "auto", "--rate", "40",
+             "--duration", "5", "--engines", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "analytic evaluator declined" in out
+        assert "throughput tok/s" in out
+
+    def test_serve_analytic_stays_strict_on_overload(self, capsys):
+        assert main(
+            ["serve", "--mode", "analytic", "--rate", "40",
+             "--duration", "5", "--engines", "1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "use mode=des" in err
+        assert err.count("\n") == 1
+
+    def test_serve_auto_with_metrics_records_fallback(self, tmp_path, capsys):
+        out = tmp_path / "auto.json"
+        assert main(
+            ["serve", "--mode", "auto", "--duration", "5",
+             "--engines", "1", "--metrics", str(out)]
+        ) == 0
+        from repro.obs import load_snapshot
+
+        counters = load_snapshot(str(out))["counters"]
+        key = "serve.analytic_fallback_total{reason=event-artifacts}"
+        assert counters[key] == 1
+
+    def test_sweep_auto_tiny(self, capsys):
+        assert main(["sweep", "--mode", "auto", "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "mode auto" in out
+        assert "analytic evaluator declined" in out
+
+    def test_serve_point_auto_reports_evaluator(self):
+        import numpy as np
+
+        from repro.inference.sweep import serve_point
+
+        seed = np.random.SeedSequence(0)
+        easy = serve_point(
+            {"mode": "auto", "rate": 0.4, "duration": 10.0, "engines": 1,
+             "tp": 4, "batch": 16, "model": "llama2-13b",
+             "accelerator": "a100-80g"},
+            seed,
+        )
+        assert easy["mode"] == "analytic"
+        assert easy["requested_mode"] == "auto"
+        assert easy["analytic_fallback"] is False
+        hard = serve_point(
+            {"mode": "auto", "rate": 40.0, "duration": 5.0, "engines": 1,
+             "tp": 4, "batch": 16, "model": "llama2-13b",
+             "accelerator": "a100-80g"},
+            seed,
+        )
+        assert hard["mode"] == "des"
+        assert hard["analytic_fallback"] is True
+
+
+class TestChaosCommand:
+    _FAST = [
+        "--param", "num_requests=8", "--param", "horizon_s=8",
+        "--param", "arrival_period_s=0.5",
+    ]
+
+    def test_chaos_tiny(self, capsys):
+        assert main(
+            ["faults", "--family", "chaos", "--tiny", *self._FAST]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "strike_rate_per_hour" in out
+        assert "avail (mitigated)" in out
+
+    def test_chaos_in_known_families(self, capsys):
+        assert main(["faults", "--family", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "chaos" in err
+        assert err.count("\n") == 1
+
+    def test_chaos_nan_rate_is_one_line_error(self, capsys):
+        assert main(
+            ["faults", "--family", "chaos", "--tiny",
+             "--param", "strike_rate_per_hour=nan"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "non-finite strike rate" in err
+        assert err.count("\n") == 1
+
+    def test_chaos_zero_horizon_is_one_line_error(self, capsys):
+        assert main(
+            ["faults", "--family", "chaos", "--tiny",
+             "--param", "horizon_s=0"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "horizon must be > 0" in err
+        assert err.count("\n") == 1
+
+    def test_controller_negative_multiplier_is_one_line_error(self, capsys):
+        assert main(
+            ["faults", "--family", "controller", "--tiny",
+             "--param", "rate_multiplier=-1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: rate multiplier must be a number >= 0")
+        assert err.count("\n") == 1
+
+
 class TestObservabilityFlags:
     def _serve(self, tmp_path, capsys):
         metrics = tmp_path / "serve.json"
