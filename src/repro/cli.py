@@ -496,6 +496,124 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Fleet experiments the ``fleet`` subcommand can run.
+FLEET_EXPERIMENTS = ("e13", "e14")
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetConfig, run_fleet
+    from repro.fleet.experiment import run_e13, run_e14
+
+    if args.workers is not None and args.workers < 1:
+        raise CLIError(f"--workers must be >= 1 (got {args.workers})")
+
+    if args.experiment is not None:
+        if args.experiment not in FLEET_EXPERIMENTS:
+            raise CLIError(
+                f"unknown fleet experiment {args.experiment!r}; "
+                f"known: {', '.join(FLEET_EXPERIMENTS)}"
+            )
+        if args.experiment == "e13":
+            result = run_e13(
+                tiny=args.tiny, root_seed=args.seed, workers=args.workers
+            )
+            print(f"E13 — fleet SLO attainment and MRM burn "
+                  f"(seed {args.seed}{', tiny' if args.tiny else ''})")
+            rows = []
+            for policy, tenants in result["table"].items():
+                for tenant, entry in tenants.items():
+                    worst_sla = min(
+                        entry["sla_attainment"].values(), default=1.0
+                    )
+                    rows.append([
+                        policy,
+                        tenant,
+                        f"{entry['users_per_day']:,.0f}",
+                        f"{worst_sla:.4f}",
+                        f"{entry['ttft_p99_worst_cell_s']:.3f}",
+                        entry["shed_total"],
+                        f"{entry['mrm_endurance_burn_per_day']:.3e}",
+                    ])
+            print(format_table(
+                rows,
+                headers=["routing", "tenant", "users/day", "worst SLA",
+                         "p99 ttft (s)", "shed", "MRM burn/day"],
+            ))
+            print("\nusers/day (fleet total): " + ", ".join(
+                f"{policy}={value:,.0f}"
+                for policy, value in result["users_per_day_total"].items()
+            ))
+        else:
+            result = run_e14(
+                tiny=args.tiny, root_seed=args.seed, workers=args.workers
+            )
+            print(f"E14 — reactive vs static provisioning "
+                  f"(seed {args.seed}{', tiny' if args.tiny else ''})")
+            print(format_table(
+                [
+                    [
+                        tenant,
+                        entry["reactive_replica_epochs"],
+                        entry["static_replica_epochs"],
+                        f"{entry['capacity_saving']:.1%}",
+                        entry["reactive_mrm_replica_epochs"],
+                        entry["reactive_shed_total"],
+                        entry["static_shed_total"],
+                    ]
+                    for tenant, entry in result["table"].items()
+                ],
+                headers=["tenant", "reactive rep-epochs",
+                         "static rep-epochs", "saving", "MRM rep-epochs",
+                         "shed (reactive)", "shed (static)"],
+            ))
+        if args.metrics:
+            _write_metrics(args.metrics, result["obs"])
+        return 0
+
+    config = FleetConfig(
+        num_clusters=args.clusters,
+        horizon_s=args.horizon,
+        epoch_s=args.epoch,
+        routing=args.routing,
+        scaling=args.scaling,
+        mode=args.mode,
+        rate_scale=args.rate_scale,
+    )
+    result = run_fleet(config, root_seed=args.seed, workers=args.workers)
+    totals = result["totals"]
+    print(
+        f"fleet — {args.clusters} clusters, "
+        f"{len(result['config']['tenants'])} tenants, "
+        f"{result['config']['epochs']} epochs of {args.epoch:g}s "
+        f"({args.routing}/{args.scaling}, seed {args.seed})"
+    )
+    print(format_table(
+        [
+            [
+                tenant,
+                entry["admitted"],
+                entry["shed_total"],
+                entry["requests_completed"],
+                f"{entry['users_per_day']:,.0f}",
+                entry["replica_peak"],
+                entry["mrm_replica_epochs"],
+                f"{entry['ttft_p99_worst_cell_s']:.3f}",
+            ]
+            for tenant, entry in result["tenants"].items()
+        ],
+        headers=["tenant", "admitted", "shed", "completed", "users/day",
+                 "peak replicas", "MRM rep-epochs", "p99 ttft (s)"],
+    ))
+    print(
+        f"\ntotals: {totals['requests_completed']} completed, "
+        f"{totals['shed']} shed, {totals['users_per_day']:,.0f} users/day, "
+        f"{totals['cells_analytic']}/{totals['num_cells']} cells analytic"
+    )
+    if args.metrics:
+        _write_metrics(args.metrics, result["obs"])
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.inspect import render_diff, render_span_tree, render_top
 
@@ -599,6 +717,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluator (fault injection requires des)")
     _add_metrics_flag(faults)
     faults.set_defaults(func=_cmd_faults)
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-cluster multi-tenant fleet simulation"
+    )
+    fleet.add_argument("--clusters", type=int, default=4)
+    fleet.add_argument("--horizon", type=float, default=600.0,
+                       help="simulated horizon (seconds)")
+    fleet.add_argument("--epoch", type=float, default=120.0,
+                       help="autoscaler/routing epoch length (seconds)")
+    fleet.add_argument("--routing", default="least-loaded",
+                       help="fleet routing policy: least-loaded, "
+                            "tenant-affinity, or power-of-two")
+    fleet.add_argument("--scaling", choices=("reactive", "static"),
+                       default="reactive",
+                       help="capacity planning: reactive autoscaler or "
+                            "static peak provisioning")
+    fleet.add_argument("--mode", choices=("des", "analytic", "auto"),
+                       default="auto",
+                       help="cell evaluator (auto = analytic with DES "
+                            "fallback)")
+    fleet.add_argument("--rate-scale", type=float, default=1.0,
+                       help="uniform traffic multiplier over all tenants")
+    fleet.add_argument("--experiment", default=None,
+                       help="run a canned experiment instead: e13 or e14")
+    fleet.add_argument("--tiny", action="store_true",
+                       help="smoke-test experiment variant (CI)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--workers", type=int, default=None,
+                       help="sweep worker processes (default REPRO_WORKERS)")
+    _add_metrics_flag(fleet)
+    fleet.set_defaults(func=_cmd_fleet)
 
     obs = sub.add_parser(
         "obs", help="inspect metrics snapshots and span traces"

@@ -1,0 +1,235 @@
+"""Tenants: the unit of multi-tenancy in a serving fleet.
+
+Section 2 frames the paper's economics at datacenter scale: "many
+inference requests are multiplexed over the same cluster, but all of
+them are for the same model".  A *fleet* hosts many such model
+deployments at once — each one a :class:`TenantConfig` here — and the
+fleet layer's job is to provision, route and serve all of them from a
+shared pool of simulated clusters.
+
+A tenant bundles:
+
+- **what it serves** — a model + accelerator + tensor-parallel group
+  (the same catalog keys ``python -m repro serve`` uses);
+- **how its traffic looks** — a Splitwise token-length profile, an SLA
+  mix, a base arrival rate, and the diurnal/bursty modulation knobs
+  :mod:`repro.fleet.arrivals` composes over it;
+- **how it is provisioned** — replica bounds and the per-replica
+  request-rate target the autoscaler and router both plan against;
+- **how scale is reported** — ``requests_per_user_day`` converts an
+  offered request rate into the "simulated users per day" figure the
+  E13 headline is stated in.
+
+Everything is a frozen dataclass of plain values so tenant configs are
+picklable across sweep workers and hashable into cache keys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.units import DAY, HOUR
+from repro.workload.distributions import (
+    SPLITWISE_CODE,
+    SPLITWISE_CONVERSATION,
+    TokenLengthProfile,
+)
+from repro.workload.requests import SLAClass
+
+#: Token-length profiles a tenant may name (keys are config strings so
+#: tenants stay picklable; the profile objects are looked up on use).
+TENANT_PROFILES: Dict[str, TokenLengthProfile] = {
+    "conversation": SPLITWISE_CONVERSATION,
+    "code": SPLITWISE_CODE,
+}
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One model deployment sharing the fleet.
+
+    Attributes
+    ----------
+    name:
+        Tenant label; becomes the ``tenant=`` metric label, so it must
+        be unique within a fleet.
+    model / accelerator / tp / max_batch_size:
+        The deployment: catalog keys resolved through
+        :func:`repro.inference.sweep.resolve_model` /
+        :func:`~repro.inference.sweep.resolve_accelerator`, the
+        tensor-parallel group size and the engine batch cap.
+    profile:
+        Token-length profile key in :data:`TENANT_PROFILES`.
+    rate_per_s:
+        Fleet-wide mean arrival rate for this tenant at the diurnal
+        baseline.  ``0`` is a legal *zero-traffic* tenant (provisioned
+        but idle — the empty-tenant regression case).
+    sla_mix:
+        ``((sla_value, probability), ...)`` pairs summing to 1, in
+        draw order (tuple, not dict, so the config hashes).
+    diurnal_amplitude / peak_time_s:
+        Sinusoidal day-shape: the instantaneous rate swings by
+        ``±amplitude`` around ``rate_per_s`` peaking at ``peak_time_s``
+        (seconds into the simulated day).
+    burst_multiplier / mean_quiet_s / mean_burst_s:
+        Two-state burst modulation on top of the diurnal shape: during
+        a burst the modulated rate is multiplied by
+        ``burst_multiplier``; sojourn times are exponential with the
+        given means.  ``burst_multiplier=1`` disables bursts.
+    target_rps_per_replica:
+        Requests/s one replica of this deployment is provisioned to
+        absorb — the autoscaler's demand-to-replicas conversion and the
+        router's drain-rate estimate.
+    min_replicas / max_replicas:
+        Autoscaler bounds for this tenant (fleet-wide).
+    requests_per_user_day:
+        Mean requests one user issues per day; converts offered load
+        into simulated users/day.
+    """
+
+    name: str
+    model: str = "llama2-13b"
+    accelerator: str = "h100-80g"
+    tp: int = 2
+    max_batch_size: int = 16
+    profile: str = "conversation"
+    rate_per_s: float = 1.0
+    sla_mix: Tuple[Tuple[str, float], ...] = (
+        (SLAClass.INTERACTIVE.value, 1.0),
+    )
+    diurnal_amplitude: float = 0.0
+    peak_time_s: float = 0.0
+    burst_multiplier: float = 1.0
+    mean_quiet_s: float = 60.0
+    mean_burst_s: float = 10.0
+    target_rps_per_replica: float = 1.0
+    min_replicas: int = 0
+    max_replicas: int = 64
+    requests_per_user_day: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a non-empty name")
+        if self.profile not in TENANT_PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; known: "
+                f"{', '.join(sorted(TENANT_PROFILES))}"
+            )
+        if self.rate_per_s < 0:
+            raise ValueError("arrival rate must be >= 0")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst multiplier must be >= 1")
+        if self.mean_quiet_s <= 0 or self.mean_burst_s <= 0:
+            raise ValueError("burst sojourn means must be positive")
+        if self.target_rps_per_replica <= 0:
+            raise ValueError("per-replica rate target must be positive")
+        if self.min_replicas < 0:
+            raise ValueError("replica floor must be >= 0")
+        if self.max_replicas < max(1, self.min_replicas):
+            raise ValueError("replica cap must be >= max(1, floor)")
+        if self.requests_per_user_day <= 0:
+            raise ValueError("requests/user/day must be positive")
+        total = math.fsum(weight for _sla, weight in self.sla_mix)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"SLA mix must sum to 1, got {total}")
+        for sla_value, weight in self.sla_mix:
+            SLAClass(sla_value)  # raises on unknown class values
+            if weight < 0:
+                raise ValueError("SLA mix weights must be >= 0")
+
+    @property
+    def token_profile(self) -> TokenLengthProfile:
+        return TENANT_PROFILES[self.profile]
+
+    @property
+    def peak_rate_per_s(self) -> float:
+        """Upper envelope of the modulated rate (thinning ceiling)."""
+        return (
+            self.rate_per_s
+            * (1.0 + self.diurnal_amplitude)
+            * self.burst_multiplier
+        )
+
+    def users_per_day(self, offered_rate_per_s: float) -> float:
+        """Simulated users/day behind an offered request rate."""
+        return offered_rate_per_s * DAY / self.requests_per_user_day
+
+
+def validate_tenants(tenants) -> Tuple[TenantConfig, ...]:
+    """Check a tenant set for fleet use (unique names, non-empty)."""
+    tenants = tuple(tenants)
+    if not tenants:
+        raise ValueError("a fleet needs at least one tenant")
+    names = [tenant.name for tenant in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names: {names}")
+    return tenants
+
+
+#: The default three-tenant mix the E13/E14 experiments serve: an
+#: interactive chat product with a strong day shape, a bursty coding
+#: assistant, and a flat batch/summarization tenant.  Models are kept
+#: at the 13B scale so the DES arms of the experiments stay tractable;
+#: the *shapes* (diurnal swing, bursts, SLA mixes) are what the fleet
+#: layer is exercising.
+DEFAULT_TENANTS: Tuple[TenantConfig, ...] = (
+    TenantConfig(
+        name="chat",
+        model="llama2-13b",
+        accelerator="h100-80g",
+        tp=2,
+        profile="conversation",
+        rate_per_s=2.0,
+        sla_mix=((SLAClass.INTERACTIVE.value, 1.0),),
+        diurnal_amplitude=0.6,
+        peak_time_s=14 * HOUR,
+        burst_multiplier=1.5,
+        mean_quiet_s=120.0,
+        mean_burst_s=15.0,
+        target_rps_per_replica=1.0,
+        max_replicas=64,
+        requests_per_user_day=12.0,
+    ),
+    TenantConfig(
+        name="code",
+        model="llama2-13b",
+        accelerator="h100-80g",
+        tp=2,
+        profile="code",
+        rate_per_s=1.5,
+        sla_mix=(
+            (SLAClass.INTERACTIVE.value, 0.8),
+            (SLAClass.THROUGHPUT.value, 0.2),
+        ),
+        diurnal_amplitude=0.4,
+        peak_time_s=11 * HOUR,
+        burst_multiplier=2.0,
+        mean_quiet_s=60.0,
+        mean_burst_s=10.0,
+        target_rps_per_replica=1.5,
+        max_replicas=48,
+        requests_per_user_day=30.0,
+    ),
+    TenantConfig(
+        name="batch",
+        model="llama2-13b",
+        accelerator="a100-80g",
+        tp=2,
+        profile="conversation",
+        rate_per_s=1.0,
+        sla_mix=(
+            (SLAClass.THROUGHPUT.value, 0.5),
+            (SLAClass.BEST_EFFORT.value, 0.5),
+        ),
+        diurnal_amplitude=0.1,
+        peak_time_s=2 * HOUR,
+        burst_multiplier=1.0,
+        target_rps_per_replica=1.0,
+        max_replicas=32,
+        requests_per_user_day=4.0,
+    ),
+)

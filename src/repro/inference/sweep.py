@@ -73,10 +73,43 @@ DEFAULT_POINT = {
 }
 
 
-def _resolve(point: Mapping[str, Any]):
-    from repro.inference.accelerator import A100_80G, B200, H100_80G
-    from repro.inference.cluster import tensor_parallel_group
+def resolve_model(name: str):
+    """Catalog lookup for a sweep/fleet model key (raises on unknown)."""
     from repro.workload.model import LLAMA2_13B, LLAMA2_70B, PHI_3_MINI
+
+    models = {
+        "llama2-70b": LLAMA2_70B,
+        "llama2-13b": LLAMA2_13B,
+        "phi-3-mini": PHI_3_MINI,
+    }
+    try:
+        return models[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; known: {', '.join(sorted(models))}"
+        ) from None
+
+
+def resolve_accelerator(name: str):
+    """Catalog lookup for a sweep/fleet accelerator key."""
+    from repro.inference.accelerator import A100_80G, B200, H100_80G
+
+    accelerators = {
+        "a100-80g": A100_80G,
+        "h100-80g": H100_80G,
+        "b200": B200,
+    }
+    try:
+        return accelerators[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown accelerator {name!r}; known: "
+            f"{', '.join(sorted(accelerators))}"
+        ) from None
+
+
+def _resolve(point: Mapping[str, Any]):
+    from repro.inference.cluster import tensor_parallel_group
 
     merged = dict(DEFAULT_POINT, **point)
     mode = merged["mode"]
@@ -84,31 +117,10 @@ def _resolve(point: Mapping[str, Any]):
         raise ValueError(
             f"unknown serve mode {mode!r}; known: {', '.join(SERVE_MODES)}"
         )
-    models = {
-        "llama2-70b": LLAMA2_70B,
-        "llama2-13b": LLAMA2_13B,
-        "phi-3-mini": PHI_3_MINI,
-    }
-    accelerators = {
-        "a100-80g": A100_80G,
-        "h100-80g": H100_80G,
-        "b200": B200,
-    }
-    try:
-        model = models[merged["model"]]
-    except KeyError:
-        raise ValueError(
-            f"unknown model {merged['model']!r}; known: "
-            f"{', '.join(sorted(models))}"
-        ) from None
-    try:
-        accelerator = accelerators[merged["accelerator"]]
-    except KeyError:
-        raise ValueError(
-            f"unknown accelerator {merged['accelerator']!r}; known: "
-            f"{', '.join(sorted(accelerators))}"
-        ) from None
-    accelerator = tensor_parallel_group(accelerator, int(merged["tp"]))
+    model = resolve_model(merged["model"])
+    accelerator = tensor_parallel_group(
+        resolve_accelerator(merged["accelerator"]), int(merged["tp"])
+    )
     return merged, model, accelerator
 
 

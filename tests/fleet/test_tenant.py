@@ -1,0 +1,90 @@
+"""TenantConfig validation and derived quantities."""
+
+import pytest
+
+from repro.fleet import DEFAULT_TENANTS, TenantConfig, validate_tenants
+from repro.units import DAY
+
+
+class TestTenantValidation:
+    def test_defaults_are_valid(self):
+        for tenant in DEFAULT_TENANTS:
+            assert tenant.token_profile is not None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            TenantConfig(name="")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            TenantConfig(name="t", profile="prose")
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            TenantConfig(name="t", rate_per_s=-1.0)
+
+    def test_zero_rate_is_legal(self):
+        assert TenantConfig(name="idle", rate_per_s=0.0).rate_per_s == 0.0
+
+    def test_amplitude_bounds(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            TenantConfig(name="t", diurnal_amplitude=1.0)
+        with pytest.raises(ValueError, match="amplitude"):
+            TenantConfig(name="t", diurnal_amplitude=-0.1)
+
+    def test_burst_multiplier_floor(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            TenantConfig(name="t", burst_multiplier=0.5)
+
+    def test_sojourn_means_positive(self):
+        with pytest.raises(ValueError, match="sojourn"):
+            TenantConfig(name="t", mean_quiet_s=0.0)
+
+    def test_target_rate_positive(self):
+        with pytest.raises(ValueError, match="target"):
+            TenantConfig(name="t", target_rps_per_replica=0.0)
+
+    def test_replica_bounds(self):
+        with pytest.raises(ValueError, match="floor"):
+            TenantConfig(name="t", min_replicas=-1)
+        with pytest.raises(ValueError, match="cap"):
+            TenantConfig(name="t", min_replicas=4, max_replicas=2)
+
+    def test_requests_per_user_day_positive(self):
+        with pytest.raises(ValueError, match="user"):
+            TenantConfig(name="t", requests_per_user_day=0.0)
+
+    def test_sla_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            TenantConfig(name="t", sla_mix=(("interactive", 0.5),))
+
+    def test_sla_mix_unknown_class(self):
+        with pytest.raises(ValueError):
+            TenantConfig(name="t", sla_mix=(("gold", 1.0),))
+
+
+class TestDerivedQuantities:
+    def test_peak_rate_envelope(self):
+        tenant = TenantConfig(
+            name="t", rate_per_s=2.0, diurnal_amplitude=0.5,
+            burst_multiplier=2.0,
+        )
+        assert tenant.peak_rate_per_s == pytest.approx(2.0 * 1.5 * 2.0)
+
+    def test_users_per_day_conversion(self):
+        tenant = TenantConfig(name="t", requests_per_user_day=10.0)
+        assert tenant.users_per_day(1.0) == pytest.approx(DAY / 10.0)
+
+
+class TestValidateTenants:
+    def test_duplicate_names_rejected(self):
+        pair = (TenantConfig(name="a"), TenantConfig(name="a"))
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_tenants(pair)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            validate_tenants(())
+
+    def test_passthrough(self):
+        assert validate_tenants(DEFAULT_TENANTS) == DEFAULT_TENANTS

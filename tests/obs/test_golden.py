@@ -124,6 +124,18 @@ def _faults_snapshot():
     )
 
 
+def _e13_snapshot():
+    from repro.fleet.experiment import run_e13
+
+    return run_e13(tiny=True, root_seed=0)["obs"]
+
+
+def _e14_snapshot():
+    from repro.fleet.experiment import run_e14
+
+    return run_e14(tiny=True, root_seed=0)["obs"]
+
+
 class TestGoldenSnapshots:
     def test_e1_read_write_ratio(self, update_golden):
         _assert_matches_golden(
@@ -138,6 +150,16 @@ class TestGoldenSnapshots:
     def test_faults_controller_paired_arms(self, update_golden):
         _assert_matches_golden(
             "faults_controller_arms.json", _faults_snapshot(), update_golden
+        )
+
+    def test_e13_fleet_routing_arms(self, update_golden):
+        _assert_matches_golden(
+            "e13_fleet_routing_arms.json", _e13_snapshot(), update_golden
+        )
+
+    def test_e14_fleet_scaling_arms(self, update_golden):
+        _assert_matches_golden(
+            "e14_fleet_scaling_arms.json", _e14_snapshot(), update_golden
         )
 
     def test_single_counter_perturbation_fails(self):

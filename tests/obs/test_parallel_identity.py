@@ -54,3 +54,39 @@ def test_snapshot_covers_both_arms_and_layers():
         )
     # The fault-heavy point applied KV losses in both arms.
     assert any(name.startswith("faults.applied_total") for name in counters)
+
+
+# ---------------------------------------------------------------------------
+# Fleet sweeps: the cell fan-out must be worker-count invariant too.
+# ---------------------------------------------------------------------------
+
+def _fleet_snapshot(workers):
+    from repro.fleet import FleetConfig, run_fleet
+
+    config = FleetConfig(horizon_s=120.0, epoch_s=60.0, num_clusters=4)
+    return run_fleet(config, root_seed=7, workers=workers)["obs"]
+
+
+def test_fleet_serial_vs_four_workers_bit_identical():
+    serial = canonical_json(_fleet_snapshot(workers=1))
+    parallel = canonical_json(_fleet_snapshot(workers=4))
+    assert serial == parallel
+
+
+def test_fleet_repro_workers_env_is_equivalent(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    via_env = canonical_json(_fleet_snapshot(workers=None))
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert via_env == canonical_json(_fleet_snapshot(workers=1))
+
+
+def test_e13_tiny_serial_vs_four_workers_bit_identical():
+    from repro.fleet.experiment import run_e13
+
+    serial = canonical_json(
+        run_e13(tiny=True, root_seed=0, workers=1)["obs"]
+    )
+    parallel = canonical_json(
+        run_e13(tiny=True, root_seed=0, workers=4)["obs"]
+    )
+    assert serial == parallel

@@ -1,0 +1,147 @@
+"""Property-based tests for fleet-wide invariants.
+
+Three families the ISSUE's test slate pins:
+
+- **conservation** — every admitted request ends exactly one of
+  completed / shed / in-flight, across all tenants, for any seed,
+  routing policy and traffic scale;
+- **autoscaler bounds** — planned capacity never exceeds the fleet
+  maximum, never goes negative, and never overfills a cluster, for any
+  demand series;
+- **token accounting** — per-tenant generated-token totals sum to the
+  per-cluster totals and to the fleet total (no tokens invented or
+  dropped by aggregation).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (
+    AutoscalerConfig,
+    FleetConfig,
+    ROUTING_POLICIES,
+    TenantConfig,
+    plan_capacity,
+    run_fleet,
+    static_plan,
+)
+
+#: A small two-tenant fleet: fast enough for hypothesis, rich enough to
+#: exercise routing, bursts and the zero-shed/shed boundary.
+_TENANTS = (
+    TenantConfig(
+        name="alpha", rate_per_s=2.0, diurnal_amplitude=0.5,
+        burst_multiplier=2.0, mean_quiet_s=20.0, mean_burst_s=10.0,
+        target_rps_per_replica=1.0,
+    ),
+    TenantConfig(
+        name="beta", rate_per_s=1.0, profile="code",
+        sla_mix=(("interactive", 0.5), ("throughput", 0.5)),
+        target_rps_per_replica=1.5,
+    ),
+)
+
+
+class TestFleetConservation:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        policy=st.sampled_from(ROUTING_POLICIES),
+        rate_scale=st.floats(min_value=0.25, max_value=3.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_admitted_equals_completed_plus_shed_plus_inflight(
+        self, seed, policy, rate_scale
+    ):
+        config = FleetConfig(
+            tenants=_TENANTS, num_clusters=2, horizon_s=60.0,
+            epoch_s=30.0, routing=policy, rate_scale=rate_scale,
+            shed_outstanding_per_replica=4.0,
+        )
+        result = run_fleet(config, root_seed=seed)
+        for name, entry in result["tenants"].items():
+            assert entry["admitted"] == (
+                entry["requests_completed"]
+                + entry["requests_failed"]
+                + entry["shed_total"]
+                + entry["in_flight"]
+            ), name
+            # Cells run their routed sub-traces to completion, so
+            # nothing is left in flight at the horizon.
+            assert entry["in_flight"] == 0, name
+        totals = result["totals"]
+        assert totals["admitted"] == sum(
+            result["tenants"][name]["admitted"]
+            for name in sorted(result["tenants"])
+        )
+
+
+class TestAutoscalerBounds:
+    @given(
+        demands=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50.0),
+                st.floats(min_value=0.0, max_value=50.0),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        fleet_max=st.integers(min_value=1, max_value=24),
+        cluster_cap=st.integers(min_value=1, max_value=8),
+        num_clusters=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_within_bounds(
+        self, demands, fleet_max, cluster_cap, num_clusters
+    ):
+        config = AutoscalerConfig(
+            fleet_max_replicas=fleet_max,
+            cluster_capacity_replicas=cluster_cap,
+        )
+        series = [{"alpha": a, "beta": b} for a, b in demands]
+        for planner in (plan_capacity, static_plan):
+            plan = planner(_TENANTS, series, num_clusters, config)
+            assert len(plan) == len(series)
+            for epoch in plan:
+                total = 0
+                cluster_load = {}
+                for name in sorted(epoch):
+                    allocation = epoch[name]
+                    assert allocation.replicas >= 0
+                    total += allocation.replicas
+                    for cluster, count in allocation.per_cluster:
+                        assert count > 0
+                        assert 0 <= cluster < num_clusters
+                        cluster_load[cluster] = (
+                            cluster_load.get(cluster, 0) + count
+                        )
+                assert total <= fleet_max
+                for cluster in sorted(cluster_load):
+                    assert cluster_load[cluster] <= cluster_cap
+
+
+class TestTokenAccounting:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_tenant_tokens_sum_to_cluster_and_fleet_totals(self, seed):
+        config = FleetConfig(
+            tenants=_TENANTS, num_clusters=2, horizon_s=60.0, epoch_s=30.0
+        )
+        result = run_fleet(config, root_seed=seed)
+        tenant_total = sum(
+            result["tenants"][name]["tokens_generated"]
+            for name in sorted(result["tenants"])
+        )
+        cluster_total = sum(
+            result["clusters"][cluster]["tokens_generated"]
+            for cluster in sorted(result["clusters"])
+        )
+        assert tenant_total == cluster_total
+        assert tenant_total == result["totals"]["tokens_generated"]
+        # The labeled per-(tenant, cluster) counters agree with both.
+        counters = result["obs"]["counters"]
+        cell_total = sum(
+            value
+            for name, value in sorted(counters.items())
+            if name.startswith("fleet_cell_tokens_generated{")
+        )
+        assert cell_total == tenant_total

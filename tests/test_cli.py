@@ -387,3 +387,47 @@ class TestObservabilityFlags:
         err = capsys.readouterr().err
         assert err.startswith("error: ")
         assert err.count("\n") == 1
+
+
+class TestFleetCommand:
+    def test_small_fleet_run(self, capsys):
+        assert main(
+            ["fleet", "--clusters", "2", "--horizon", "60", "--epoch", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet — 2 clusters" in out
+        assert "users/day" in out
+        assert "cells analytic" in out
+        for tenant in ("chat", "code", "batch"):
+            assert tenant in out
+
+    def test_metrics_snapshot_is_loadable(self, tmp_path, capsys):
+        metrics = tmp_path / "fleet.json"
+        assert main(
+            ["fleet", "--clusters", "2", "--horizon", "60", "--epoch", "30",
+             "--metrics", str(metrics)]
+        ) == 0
+        from repro.obs import load_snapshot
+
+        snap = load_snapshot(str(metrics))
+        assert "fleet_requests_admitted{tenant=chat}" in snap["counters"]
+
+    def test_unknown_routing_is_one_line_error(self, capsys):
+        assert main(["fleet", "--routing", "random"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "random" in err
+        assert err.count("\n") == 1
+
+    def test_unknown_experiment_is_one_line_error(self, capsys):
+        assert main(["fleet", "--experiment", "e99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "e99" in err
+        assert err.count("\n") == 1
+
+    def test_workers_below_one_is_one_line_error(self, capsys):
+        assert main(["fleet", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
