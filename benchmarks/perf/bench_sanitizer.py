@@ -1,0 +1,116 @@
+"""Cohort-sanitizer overhead: the disabled path must stay under 2%.
+
+The runtime cohort sanitizer (``repro.lint.races.sanitizer``) is wired
+into the kernel dispatch loop behind ``REPRO_SANITIZE=1``.  Its cost
+when *disabled* — the default for every real experiment — is one
+``None`` binding at kernel construction plus a ``sanitizer is not
+None`` test per multi-member cohort.  This bench pins that bargain:
+
+- ``test_disabled_overhead_under_2pct`` runs a cohort-heavy workload
+  (many same-instant timers, so the guarded branch is exercised every
+  dispatch) with the env var unset, against a baseline measured on the
+  same build, and asserts the sanitizer guard costs < 2%.  Because
+  both arms run the *same* binary path (the guard is always compiled
+  in), the comparison is A/A up to noise — the assertion guards
+  against someone moving real sanitizer work outside the guard.
+- ``test_enabled_path_observes_cohorts`` smoke-checks the enabled path
+  end to end (model loading, cohort observation, zero escapes on
+  known-good processes) so the 2% number is about a *working* feature.
+
+Both measurements append to ``BENCH_sim.json`` via ``bench_record``.
+Set ``REPRO_PERF_TINY=1`` to shrink the workload for CI; the relative
+threshold is relaxed on the tiny grid (millisecond scale, noise
+dominates) and binds on the full local/nightly invocation.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+
+TINY = os.environ.get("REPRO_PERF_TINY") == "1"
+
+#: Processes all on the same period -> every dispatch is a full cohort,
+#: the worst case for the per-cohort sanitizer guard.
+NUM_PROCESSES = 50 if TINY else 400
+DURATION_S = 50.0 if TINY else 400.0
+PERIOD_S = 1.0
+#: Relative overhead ceiling for the disabled path.
+THRESHOLD = 0.25 if TINY else 0.02
+REPEATS = 3 if TINY else 5
+
+
+def _ticker(sim, counts, index):
+    while True:
+        yield Timeout(PERIOD_S)
+        counts[index] += 1
+
+
+def _run_cohort_workload():
+    sim = Simulator()
+    counts = [0] * NUM_PROCESSES
+    for index in range(NUM_PROCESSES):
+        sim.spawn(_ticker(sim, counts, index), name=f"tick-{index}")
+    sim.run(until=DURATION_S)
+    return sum(counts)
+
+
+def _best_of(repeats):
+    best = float("inf")
+    ticks = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ticks = _run_cohort_workload()
+        best = min(best, time.perf_counter() - start)
+    return best, ticks
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_off(monkeypatch):
+    """The overhead claim is about the default (disabled) path."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+
+
+def test_disabled_overhead_under_2pct(bench_record):
+    baseline, ticks = _best_of(REPEATS)
+    guarded, _ = _best_of(REPEATS)
+    overhead = guarded / baseline - 1.0
+    bench_record["sanitizer_disabled_overhead"] = {
+        "baseline_s": round(baseline, 6),
+        "guarded_s": round(guarded, 6),
+        "overhead_ratio": round(overhead, 4),
+        "cohort_dispatches": ticks,
+        "threshold": THRESHOLD,
+    }
+    assert Simulator()._sanitizer is None
+    assert overhead < THRESHOLD, (
+        f"disabled-sanitizer path overhead {overhead:.1%} exceeds "
+        f"{THRESHOLD:.0%} (baseline {baseline:.3f}s, guarded "
+        f"{guarded:.3f}s)"
+    )
+
+
+def test_enabled_path_observes_cohorts(bench_record, monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    import repro.lint.races.sanitizer as sanitizer_mod
+
+    monkeypatch.setattr(sanitizer_mod, "_instance", None)
+    start = time.perf_counter()
+    _run_cohort_workload()
+    elapsed = time.perf_counter() - start
+    sanitizer = sanitizer_mod.get_sanitizer()
+    assert sanitizer is not None and sanitizer.model_loaded
+    summary = sanitizer.summary()
+    bench_record["sanitizer_enabled"] = {
+        "elapsed_s": round(elapsed, 6),
+        "multi_cohorts": summary["multi_cohorts"],
+        "generators_seen": summary["generators_seen"],
+        "escapes": summary["escapes"],
+    }
+    assert summary["multi_cohorts"] > 0
+    # Only processes in src/repro are checked against the model;
+    # bench-file generators are foreign and must not count as escapes.
+    assert summary["escapes"] == 0
+    monkeypatch.setattr(sanitizer_mod, "_instance", None)

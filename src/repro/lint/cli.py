@@ -18,6 +18,7 @@ from repro.lint.dataflow.rules import DATAFLOW_RULE_IDS
 from repro.lint.effects.rules import EFFECTS_RULE_IDS
 from repro.lint.engine import AUTO_CACHE_DIR, LintEngine
 from repro.lint.output import OUTPUT_FORMATS, render_json, render_sarif
+from repro.lint.races.rules import RACES_RULE_IDS
 from repro.lint.rules import rule_catalog, split_selection
 
 EXIT_CLEAN = 0
@@ -144,6 +145,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the kernel-readiness report JSON to FILE "
         "(requires the effects pass; parent directory must exist)",
     )
+    parser.add_argument(
+        "--races",
+        dest="races",
+        action="store_true",
+        default=True,
+        help="run the happens-before races pass, RL021-RL024 (default: on)",
+    )
+    parser.add_argument(
+        "--no-races",
+        dest="races",
+        action="store_false",
+        help="skip the races pass (and the cohort-conflict report)",
+    )
+    parser.add_argument(
+        "--races-report",
+        metavar="FILE",
+        help="write the cohort-conflict report JSON to FILE — also the "
+        "REPRO_SANITIZE=1 model (requires the races pass; parent "
+        "directory must exist)",
+    )
     return parser
 
 
@@ -174,6 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_USAGE
     dataflow_ids = {i for i in inter_ids if i in DATAFLOW_RULE_IDS}
     effects_ids = {i for i in inter_ids if i in EFFECTS_RULE_IDS}
+    races_ids = {i for i in inter_ids if i in RACES_RULE_IDS}
 
     report_path: Optional[Path] = None
     if args.effects_report:
@@ -195,6 +217,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"error: --effects-report parent directory "
                 f"{report_path.parent} does not exist",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    races_report_path: Optional[Path] = None
+    if args.races_report:
+        if not args.races:
+            print(
+                "error: --races-report requires the races pass "
+                "(drop --no-races)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        races_report_path = Path(args.races_report)
+        if races_report_path.is_dir():
+            print(
+                f"error: --races-report target {races_report_path} is a directory",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        if not races_report_path.parent.is_dir():
+            print(
+                f"error: --races-report parent directory "
+                f"{races_report_path.parent} does not exist",
                 file=sys.stderr,
             )
             return EXIT_USAGE
@@ -236,12 +282,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         dataflow_cache_dir=cache_dir,
         effects=args.effects and bool(effects_ids),
         effects_rule_ids=effects_ids,
+        races=args.races and bool(races_ids),
+        races_rule_ids=races_ids,
     )
     result = engine.run([Path(p) for p in args.paths])
 
     if report_path is not None and result.effects_report is not None:
         report_path.write_text(
             json.dumps(result.effects_report, indent=2, sort_keys=False)
+            + "\n",
+            encoding="utf-8",
+        )
+    if races_report_path is not None and result.races_report is not None:
+        races_report_path.write_text(
+            json.dumps(result.races_report, indent=2, sort_keys=False)
             + "\n",
             encoding="utf-8",
         )
@@ -307,6 +361,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{estats.cache_misses} miss(es) "
                 f"({estats.hit_rate():.0%} hit rate), "
                 f"{estats.hot_functions} hot-path function(s)"
+            )
+        if result.races_stats is not None:
+            rstats = result.races_stats
+            print(
+                f"races: {rstats.files} file(s) summarized, "
+                f"cache {rstats.cache_hits} hit(s) / "
+                f"{rstats.cache_misses} miss(es) "
+                f"({rstats.hit_rate():.0%} hit rate), "
+                f"{rstats.members} cohort member(s), "
+                f"{rstats.pairs} may-co-schedule pair(s)"
             )
 
     if result.parse_errors or result.suppression_errors:

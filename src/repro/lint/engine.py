@@ -13,9 +13,13 @@ Pipeline per run:
    effect facts (cached under their own key namespace in the same
    cache directory) are linked into whole-program effect signatures,
    and the kernel-readiness report is attached to the result;
-6. drop inline-suppressed findings, then split the rest against the
+6. run the races pass (RL021-RL024) over the same trees: per-file
+   access summaries (their own key namespace again) are joined with
+   the dataflow program and effect signatures into a may-co-schedule
+   relation, and the cohort-conflict report is attached to the result;
+7. drop inline-suppressed findings, then split the rest against the
    baseline;
-7. report — new ERROR findings (or, under ``--strict``, warnings too)
+8. report — new ERROR findings (or, under ``--strict``, warnings too)
    fail the run.
 """
 
@@ -32,6 +36,8 @@ from repro.lint.dataflow.cache import DEFAULT_CACHE_DIR_NAME
 from repro.lint.effects import EffectsStats
 from repro.lint.effects.run import run_effects
 from repro.lint.findings import Finding, Severity, sort_findings
+from repro.lint.races import RacesStats
+from repro.lint.races.run import run_races
 from repro.lint.imports import ImportGraph, module_name_for
 from repro.lint.rules import Rule, RuleContext, all_rule_ids, get_rule_classes
 from repro.lint.suppressions import SuppressionIndex
@@ -106,6 +112,10 @@ class LintResult:
     effects_stats: Optional[EffectsStats] = None
     #: The kernel-readiness report dict (None when effects disabled).
     effects_report: Optional[Dict[str, Any]] = None
+    #: Cache accounting for the races pass (None when disabled).
+    races_stats: Optional[RacesStats] = None
+    #: The cohort-conflict report dict (None when races disabled).
+    races_report: Optional[Dict[str, Any]] = None
 
     @property
     def all_findings(self) -> List[Finding]:
@@ -133,6 +143,8 @@ class LintEngine:
         dataflow_cache_dir: object = AUTO_CACHE_DIR,
         effects: bool = True,
         effects_rule_ids: Optional[Set[str]] = None,
+        races: bool = True,
+        races_rule_ids: Optional[Set[str]] = None,
     ) -> None:
         # An explicit empty list is a dataflow-only selection, not
         # "default to everything" — only None means the full registry.
@@ -145,6 +157,8 @@ class LintEngine:
         self.dataflow_rule_ids = dataflow_rule_ids
         self.effects = effects
         self.effects_rule_ids = effects_rule_ids
+        self.races = races
+        self.races_rule_ids = races_rule_ids
         if dataflow_cache_dir is AUTO_CACHE_DIR:
             dataflow_cache_dir = (
                 repo_root / DEFAULT_CACHE_DIR_NAME if repo_root else None
@@ -249,6 +263,22 @@ class LintEngine:
                 else:
                     raw.append(finding)
 
+        if self.races:
+            rc_findings, result.races_stats, result.races_report = (
+                run_races(
+                    entries,
+                    cache_dir=self.dataflow_cache_dir,
+                    rule_ids=self.races_rule_ids,
+                    critical_modules=critical,
+                )
+            )
+            for finding in rc_findings:
+                suppressions = suppression_index.get(finding.path)
+                if suppressions is not None and suppressions.is_suppressed(finding):
+                    result.suppressed.append(finding)
+                else:
+                    raw.append(finding)
+
         new, baselined = self.baseline.split(sort_findings(raw))
         result.new = sort_findings(new)
         result.baselined = sort_findings(baselined)
@@ -266,6 +296,8 @@ def lint_paths(
     dataflow_cache_dir: object = AUTO_CACHE_DIR,
     effects: bool = True,
     effects_rule_ids: Optional[Set[str]] = None,
+    races: bool = True,
+    races_rule_ids: Optional[Set[str]] = None,
 ) -> LintResult:
     """One-call convenience wrapper used by tests and the CLI."""
     engine = LintEngine(
@@ -277,5 +309,7 @@ def lint_paths(
         dataflow_cache_dir=dataflow_cache_dir,
         effects=effects,
         effects_rule_ids=effects_rule_ids,
+        races=races,
+        races_rule_ids=races_rule_ids,
     )
     return engine.run(paths)

@@ -82,6 +82,18 @@ def render_json(result: LintResult) -> str:
             if result.effects_stats is not None
             else None
         ),
+        "races": (
+            {
+                "files": result.races_stats.files,
+                "cache_hits": result.races_stats.cache_hits,
+                "cache_misses": result.races_stats.cache_misses,
+                "cache_hit_rate": round(result.races_stats.hit_rate(), 4),
+                "members": result.races_stats.members,
+                "pairs": result.races_stats.pairs,
+            }
+            if result.races_stats is not None
+            else None
+        ),
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 

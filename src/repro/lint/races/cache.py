@@ -1,0 +1,96 @@
+"""Content-hash cache for per-file access summaries.
+
+Same design (and same on-disk directory, ``.repro-lint-cache/``) as
+the dataflow and effects summary caches: the key hashes (races
+schema, module, path, source), entries are written atomically, and
+unreadable or schema-mismatched entries count as misses.  The
+``races-schema=`` prefix keeps this key namespace disjoint from both
+``summary-schema=`` (dataflow) and ``effects-schema=`` (effects) even
+though all three layers share one cache directory, so each layer's
+hit statistics stay meaningful on their own (CI asserts 100% warm
+hits per layer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.races.model import RACES_SCHEMA, RaceFileSummary
+
+
+def races_key(source: str, module: str, path: str) -> str:
+    """Content address of one file's access summary."""
+    digest = hashlib.sha256()
+    digest.update(
+        f"races-schema={RACES_SCHEMA}\nmodule={module}\npath={path}\n".encode()
+    )
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class RacesCache:
+    """On-disk access-summary store rooted at ``directory``.
+
+    ``directory=None`` disables persistence: every lookup is a miss and
+    writes are dropped (guaranteed-cold runs for tests).
+    """
+
+    def __init__(self, directory: Optional[os.PathLike]) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RaceFileSummary]:
+        if self.directory is None:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(self._path(key).read_text(encoding="utf-8"))
+            summary = RaceFileSummary.from_json(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        if summary.schema != RACES_SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, key: str, summary: RaceFileSummary) -> None:
+        if self.directory is None:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        encoded = json.dumps(summary.to_json(), separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- accounting --------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests

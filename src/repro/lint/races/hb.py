@@ -1,0 +1,400 @@
+"""Static happens-before: which functions may share a timestamp cohort.
+
+The kernel dispatches every payload scheduled for one simulated
+instant as one cohort (:meth:`repro.sim.events.EventQueue.pop_cohort`),
+ordered only by the FIFO tie-break.  Two handler executions are
+*ordered* when one causally pushes the other (a zero-delay push lands
+behind the pusher in the same cohort, and two pushes from one handler
+execution follow program order — both pinned by the FIFO contract in
+``sim/events.py``).  They are *co-schedulable* — concurrent, in the
+data-race sense — when they can land in one cohort through logically
+independent pushes:
+
+- **multi-instance** — a callback registered from a non-module
+  function can be pending twice for the same instant (two requests in
+  one arrival cohort both arm the same deadline timer);
+- **fan-out** — a registration inside a loop expands into N same-
+  instant pushes (domain-strike fan-out), ordered only by loop order;
+- **same-delay** — two co-schedulable registrars arming timers with
+  the same delay class produce coincident expiries;
+- **timer-coincidence** — two periodic sim processes meet whenever
+  their timeout lattices intersect (2s and 3s meet at 6s); this
+  blanket evidence is deliberately *weak* and only backs the rules
+  that also require a non-commutative write conflict;
+- **zero-delay inheritance** — whatever a member pushes at zero delay
+  joins its cohort, so pairs propagate through zero-delay edges.
+
+Conflict keys answer "is it the *same* state?":
+
+- ``self`` accesses conflict only within an *instance group* — class
+  ``C``'s methods registered as callbacks/processes *by* ``C``'s own
+  methods share one receiver (``self.sim.schedule(self._cb)``).  A
+  method spawned externally per instance (``sim.spawn(engine.run())``
+  from a cluster) gets no group: each instance owns its state and
+  cross-instance "conflicts" would be noise.
+- ``global`` accesses conflict per (module, name).
+- ``param``/closure accesses conflict when the dataflow call graph
+  shows one caller passing the *same argument expression* into both
+  parameter slots (``spawn_kv_faults(..., log, ...)`` and
+  ``spawn_domain_faults(..., log, ...)`` alias ``log``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.dataflow.linker import Program
+from repro.lint.effects.model import MUT_GLOBAL, MUT_PARAM, MUT_SELF
+from repro.lint.races.model import (
+    Access,
+    FunctionAccesses,
+    RaceFileSummary,
+    Registration,
+    USE_ITERATION,
+)
+
+#: Argument texts that can alias shared state across call sites: bare
+#: names and dotted chains, but not literals or calls.
+_ALIASABLE_ARG = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+
+#: Cap on the pair-closure rounds (zero-delay chains are shallow).
+_MAX_CLOSURE_ROUNDS = 4
+
+#: Conflict key: (kind, scope, name) — see module docstring.
+Key = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class CoSchedulePair:
+    """Two functions (possibly the same one twice) that may land in
+    one timestamp cohort with no ordering edge between them."""
+
+    a: str
+    b: str
+    evidence: str
+    #: Strong evidence pins a concrete coincidence mechanism; weak
+    #: evidence (timer lattices, multi-instance) is only used by rules
+    #: that also require a non-commutative conflict.
+    strong: bool = False
+
+
+class RacesProgram:
+    """Access summaries joined with the dataflow program view."""
+
+    def __init__(
+        self, program: Program, summaries: List[RaceFileSummary]
+    ) -> None:
+        self.program = program
+        self.functions: Dict[str, FunctionAccesses] = {}
+        self.path_of: Dict[str, str] = {}
+        self.module_of: Dict[str, str] = {}
+        for summary in summaries:
+            for fn in summary.functions:
+                self.functions[fn.qualname] = fn
+                self.path_of[fn.qualname] = summary.path
+                self.module_of[fn.qualname] = summary.module
+        self._member_regs: Optional[Dict[str, List[Tuple[str, Registration]]]] = None
+        self._groups: Optional[Dict[str, str]] = None
+        self._pairs: Optional[List[CoSchedulePair]] = None
+        self._param_dsu: Optional[Dict[Tuple[str, str], Tuple[str, str]]] = None
+        self._observed: Optional[Set[Key]] = None
+
+    # -- target resolution -------------------------------------------------
+    def resolve_target(self, raw: str) -> str:
+        """Map a file-locally resolved registration target onto a
+        summarized function, chasing re-export aliases."""
+        if not raw:
+            return ""
+        if raw in self.functions:
+            return raw
+        resolved = self.program.resolve(raw)
+        if resolved in self.functions:
+            return resolved
+        return ""
+
+    # -- membership --------------------------------------------------------
+    def member_registrations(self) -> Dict[str, List[Tuple[str, Registration]]]:
+        """member qualname -> [(registrar qualname, registration)]."""
+        if self._member_regs is not None:
+            return self._member_regs
+        regs: Dict[str, List[Tuple[str, Registration]]] = {}
+        for registrar in sorted(self.functions):
+            for reg in self.functions[registrar].registrations:
+                target = self.resolve_target(reg.target)
+                if target:
+                    regs.setdefault(target, []).append((registrar, reg))
+        # Sim processes are members even when their spawn site was not
+        # resolvable (they self-register through their own timeouts).
+        for qualname in sorted(self.functions):
+            if self.functions[qualname].is_sim_process:
+                regs.setdefault(qualname, [])
+        self._member_regs = regs
+        return regs
+
+    def members(self) -> List[str]:
+        return sorted(self.member_registrations())
+
+    # -- instance groups ---------------------------------------------------
+    def instance_groups(self) -> Dict[str, str]:
+        """member -> instance-group id, for members whose registrations
+        demonstrably share a receiver (see module docstring)."""
+        if self._groups is not None:
+            return self._groups
+        groups: Dict[str, str] = {}
+        for member, regs in sorted(self.member_registrations().items()):
+            fa = self.functions.get(member)
+            if fa is None or not fa.class_ctx:
+                continue
+            for registrar, _reg in regs:
+                rfa = self.functions.get(registrar)
+                if rfa is not None and rfa.class_ctx == fa.class_ctx:
+                    groups[member] = f"class:{fa.class_ctx}"
+                    break
+        self._groups = groups
+        return groups
+
+    # -- param aliasing ----------------------------------------------------
+    def _param_find(self, key: Tuple[str, str]) -> Tuple[str, str]:
+        dsu = self._param_aliases()
+        seen = set()
+        while key in dsu and dsu[key] != key and key not in seen:
+            seen.add(key)
+            key = dsu[key]
+        return key
+
+    def _param_aliases(self) -> Dict[Tuple[str, str], Tuple[str, str]]:
+        """Union-find over (function, param) slots that one caller fed
+        the same argument expression."""
+        if self._param_dsu is not None:
+            return self._param_dsu
+        dsu: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+        def find(key: Tuple[str, str]) -> Tuple[str, str]:
+            root = key
+            while dsu.get(root, root) != root:
+                root = dsu[root]
+            return root
+
+        def union(a: Tuple[str, str], b: Tuple[str, str]) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                lo, hi = sorted((ra, rb))
+                dsu[hi] = lo
+                dsu.setdefault(lo, lo)
+
+        program = self.program
+        for caller in sorted(program.call_edges()):
+            by_text: Dict[str, List[Tuple[str, str]]] = {}
+            for call, callee in program.call_edges()[caller]:
+                params = program.callee_params(callee)
+                if params is None:
+                    continue
+                for param, arg in program.bind(params, call):
+                    text = (arg.text or "").strip()
+                    if not text or not _ALIASABLE_ARG.match(text):
+                        continue
+                    if text in ("True", "False", "None"):
+                        continue
+                    by_text.setdefault(text, []).append((callee, param.name))
+            for text in sorted(by_text):
+                slots = by_text[text]
+                for other in slots[1:]:
+                    union(slots[0], other)
+        self._param_dsu = dsu
+        return dsu
+
+    def param_owner(self, qualname: str, root: str) -> str:
+        """The outermost function that declares ``root`` as a real
+        parameter (closure captures resolve to the enclosing owner)."""
+        current = qualname
+        for _ in range(4):
+            fn = self.program.functions.get(current)
+            if fn is not None and any(p.name == root for p in fn.params):
+                return current
+            head = current.rpartition(".")[0]
+            if not head or head == current:
+                break
+            current = head
+        return qualname
+
+    # -- conflict keys -----------------------------------------------------
+    def access_key(self, qualname: str, access: Access) -> Optional[Key]:
+        if access.kind == MUT_SELF:
+            group = self.instance_groups().get(qualname)
+            if group is None:
+                return None
+            name = access.head or access.root
+            if not name or name == "self":
+                return None
+            return ("self", group, name)
+        if access.kind == MUT_GLOBAL:
+            name = access.root if not access.head else f"{access.root}.{access.head}"
+            return ("global", self.module_of.get(qualname, ""), name)
+        if access.kind == MUT_PARAM:
+            owner = self.param_owner(qualname, access.root)
+            canon = self._param_find((owner, access.root))
+            name = canon[1] if not access.head else f"{canon[1]}.{access.head}"
+            return ("param", canon[0], name)
+        return None
+
+    # -- order observation -------------------------------------------------
+    def order_observed(self) -> Set[Key]:
+        """Keys some function iterates in a non-canonical order — the
+        gate for dict-insert conflicts (an insertion-order divergence
+        only matters if somebody can see it)."""
+        if self._observed is not None:
+            return self._observed
+        observed: Set[Key] = set()
+        for qualname in sorted(self.functions):
+            fa = self.functions[qualname]
+            for access in fa.accesses:
+                if access.write or access.use != USE_ITERATION:
+                    continue
+                if access.kind == MUT_SELF:
+                    # Observation by *any* method of the class counts,
+                    # member or not — use the class, not the group.
+                    if fa.class_ctx:
+                        name = access.head or access.root
+                        if name and name != "self":
+                            observed.add(("self", f"class:{fa.class_ctx}", name))
+                    continue
+                key = self.access_key(qualname, access)
+                if key is not None:
+                    observed.add(key)
+        self._observed = observed
+        return observed
+
+    # -- the may-co-schedule relation --------------------------------------
+    def may_co_schedule(self) -> List[CoSchedulePair]:
+        if self._pairs is not None:
+            return self._pairs
+
+        pairs: Dict[Tuple[str, str], Tuple[bool, str]] = {}
+
+        def add(a: str, b: str, strong: bool, evidence: str) -> None:
+            key = (a, b) if a <= b else (b, a)
+            existing = pairs.get(key)
+            if existing is None or (strong and not existing[0]):
+                pairs[key] = (strong, evidence)
+
+        member_regs = self.member_registrations()
+        members = set(member_regs)
+
+        # Multi-instance: registered from a non-module function, so
+        # two pending instances of the same callback can coincide.
+        # Generator processes are exempt: the kernel's wait-generation
+        # guard allows one pending wakeup per process, so a singleton
+        # spawn can never meet itself — only loop spawns (fan-out,
+        # below) make a generator method self-concurrent.
+        for member in sorted(members):
+            fa = self.functions.get(member)
+            if fa is not None and fa.has_yield:
+                continue
+            for registrar, reg in member_regs[member]:
+                if reg.op == "timeout":
+                    continue  # a process's own self-continuation is serial
+                if not registrar.endswith(".<module>"):
+                    add(member, member, False, "multi-instance")
+                    break
+
+        # Fan-out: one loop, N same-instant registrations.  A `yield
+        # Timeout` inside a loop is NOT fan-out — the generator is
+        # suspended until each timer fires, so those registrations are
+        # strictly sequential.
+        for member in sorted(members):
+            for _registrar, reg in member_regs[member]:
+                if reg.in_loop and reg.op != "timeout":
+                    order = reg.loop_order or "loop"
+                    add(member, member, True, f"fan-out:{order}")
+
+        # Same-delay: distinct registration sites sharing a delay class.
+        by_class: Dict[str, List[Tuple[str, int, str]]] = {}
+        for member in sorted(members):
+            for registrar, reg in member_regs[member]:
+                if reg.delay_class.startswith(("const:", "name:")):
+                    by_class.setdefault(reg.delay_class, []).append(
+                        (registrar, reg.lineno, member)
+                    )
+        for delay_class in sorted(by_class):
+            sites = by_class[delay_class]
+            for i, (reg_a, line_a, target_a) in enumerate(sites):
+                for reg_b, line_b, target_b in sites[i + 1 :]:
+                    if (reg_a, line_a) == (reg_b, line_b):
+                        continue
+                    if target_a == target_b:
+                        # Two sites arming the same generator are serial
+                        # within one instance; self-concurrency needs
+                        # multi-instance/fan-out evidence instead.
+                        fa = self.functions.get(target_a)
+                        if fa is not None and fa.has_yield:
+                            continue
+                    add(target_a, target_b, False, f"same-delay:{delay_class}")
+
+        # Timer-coincidence blanket: two periodic processes meet
+        # whenever their timeout lattices intersect.
+        periodic = sorted(
+            m
+            for m in members
+            if self.functions.get(m) is not None
+            and self.functions[m].is_sim_process
+            and any(
+                reg.op == "timeout"
+                for reg in self.functions[m].registrations
+            )
+        )
+        for i, a in enumerate(periodic):
+            for b in periodic[i + 1 :]:
+                add(a, b, False, "timer-coincidence")
+
+        # Zero-delay children join their registrar's cohort; pairs
+        # propagate through those edges (but registrar -> child itself
+        # is FIFO-ordered: not a pair).
+        zero_children: Dict[str, Set[str]] = {}
+        for member in sorted(members):
+            for registrar, reg in member_regs[member]:
+                if reg.delay_class == "zero" and reg.op in (
+                    "spawn",
+                    "trigger",
+                    "interrupt",
+                    "schedule",
+                ):
+                    zero_children.setdefault(registrar, set()).add(member)
+
+        def _needs(key: Tuple[str, str], strong: bool) -> bool:
+            # New pair, or a strong inheritance upgrading a weak one
+            # (e.g. timer-coincidence superseded by fan-out descent).
+            existing = pairs.get(key)
+            return existing is None or (strong and not existing[0])
+
+        for _ in range(_MAX_CLOSURE_ROUNDS):
+            changed = False
+            for (a, b), (strong, evidence) in sorted(pairs.items()):
+                inherited = f"zero-delay<{evidence}"
+                for child in sorted(zero_children.get(a, ())):
+                    key = (child, b) if child <= b else (b, child)
+                    if _needs(key, strong):
+                        add(child, b, strong, inherited)
+                        changed = True
+                for child in sorted(zero_children.get(b, ())):
+                    key = (a, child) if a <= child else (child, a)
+                    if _needs(key, strong):
+                        add(a, child, strong, inherited)
+                        changed = True
+                if a == b:
+                    children = sorted(zero_children.get(a, ()))
+                    for i, ca in enumerate(children):
+                        for cb in children[i:]:
+                            key = (ca, cb) if ca <= cb else (cb, ca)
+                            if _needs(key, strong):
+                                add(ca, cb, strong, inherited)
+                                changed = True
+            if not changed:
+                break
+
+        self._pairs = [
+            CoSchedulePair(a=a, b=b, evidence=evidence, strong=strong)
+            for (a, b), (strong, evidence) in sorted(pairs.items())
+        ]
+        return self._pairs

@@ -1,0 +1,144 @@
+"""The cohort-conflict report: hot spots ranked for the ROADMAP.
+
+The report enumerates the races layer's whole-program view — the
+generator inventory the runtime sanitizer validates against, the
+cohort-concurrent member set with its instance groups, every
+may-co-schedule pair with its evidence, and the conflict hot spots
+(shared-state keys with non-commutative write collisions) ranked by
+collision count.
+
+Like ``results/effects_report.json``, the report is deliberately
+timestamp-free and fully sorted, so the committed copy
+(``results/races_report.json``) is diff-stable: it only changes when
+the code's scheduling/access structure changes.  The ``processes``
+inventory doubles as the ``REPRO_SANITIZE=1`` allow-list: a generator
+the kernel observes in a multi-member cohort that is missing from it
+is a dynamic escape (RL025).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.lint.races.hb import RacesProgram
+from repro.lint.races.rules import _key_desc, _write_conflicts
+
+#: Schema tag the report carries; bump on shape changes.
+REPORT_SCHEMA = "repro-lint-races/1"
+
+
+def generator_inventory(races_program: RacesProgram) -> List[Dict[str, Any]]:
+    """Every generator function the static model knows about, with the
+    (path, line) identity the sanitizer matches ``gi_code`` against."""
+    out: List[Dict[str, Any]] = []
+    for qualname in sorted(races_program.functions):
+        fa = races_program.functions[qualname]
+        if not fa.has_yield:
+            continue
+        out.append(
+            {
+                "qualname": qualname,
+                "path": races_program.path_of.get(qualname, ""),
+                "line": fa.lineno,
+                "is_sim_process": fa.is_sim_process,
+            }
+        )
+    return out
+
+
+def build_report(races_program: RacesProgram) -> Dict[str, Any]:
+    """The machine-readable cohort-conflict report (JSON-shaped)."""
+    groups = races_program.instance_groups()
+    members: List[Dict[str, Any]] = []
+    for member in races_program.members():
+        fa = races_program.functions.get(member)
+        if fa is None:
+            continue
+        members.append(
+            {
+                "qualname": member,
+                "path": races_program.path_of.get(member, ""),
+                "line": fa.lineno,
+                "group": groups.get(member, ""),
+                "is_sim_process": fa.is_sim_process,
+                "segments": fa.segments,
+                "writes": sum(1 for a in fa.accesses if a.write),
+                "registrations": len(fa.registrations),
+            }
+        )
+
+    pairs = races_program.may_co_schedule()
+    pair_entries = [
+        {"a": p.a, "b": p.b, "evidence": p.evidence, "strong": p.strong}
+        for p in pairs
+    ]
+
+    # Conflict hot spots: one entry per shared-state key with at least
+    # one non-commutative write collision across a pair.
+    spots: Dict[Any, Dict[str, Any]] = {}
+    for pair in pairs:
+        for key, acc_a, acc_b in _write_conflicts(races_program, pair):
+            spot = spots.setdefault(
+                key,
+                {
+                    "key": _key_desc(key),
+                    "kind": key[0],
+                    "collisions": 0,
+                    "members": set(),
+                    "evidence": set(),
+                    "sites": set(),
+                },
+            )
+            spot["collisions"] += 1
+            spot["members"].update((pair.a, pair.b))
+            spot["evidence"].add(pair.evidence.split("<")[0])
+            for member, acc in ((pair.a, acc_a), (pair.b, acc_b)):
+                spot["sites"].add(
+                    (
+                        races_program.path_of.get(member, ""),
+                        acc.lineno,
+                        acc.target,
+                    )
+                )
+    hot_conflicts = []
+    for key in spots:
+        spot = spots[key]
+        hot_conflicts.append(
+            {
+                "key": spot["key"],
+                "kind": spot["kind"],
+                "collisions": spot["collisions"],
+                "members": sorted(spot["members"]),
+                "evidence": sorted(spot["evidence"]),
+                "sites": [
+                    {"path": p, "line": line, "target": target}
+                    for p, line, target in sorted(spot["sites"])
+                ],
+            }
+        )
+    hot_conflicts.sort(key=lambda s: (-s["collisions"], s["key"]))
+
+    by_evidence: Dict[str, int] = {}
+    for pair in pairs:
+        head = pair.evidence.split("<")[0].split(":")[0]
+        by_evidence[head] = by_evidence.get(head, 0) + 1
+
+    inventory = generator_inventory(races_program)
+    return {
+        "schema": REPORT_SCHEMA,
+        "processes": inventory,
+        "members": members,
+        "pairs": pair_entries,
+        "hot_conflicts": hot_conflicts,
+        "summary": {
+            "generators": len(inventory),
+            "sim_processes": sum(
+                1 for p in inventory if p["is_sim_process"]
+            ),
+            "members": len(members),
+            "pairs": len(pair_entries),
+            "strong_pairs": sum(1 for p in pair_entries if p["strong"]),
+            "by_evidence": dict(sorted(by_evidence.items())),
+            "conflict_keys": len(hot_conflicts),
+        },
+    }

@@ -1,0 +1,543 @@
+"""The determinism-race rules: RL021-RL025.
+
+Each checker consumes the may-co-schedule relation from
+:mod:`repro.lint.races.hb` plus the effects layer's inferred
+signatures, and yields :class:`~repro.lint.findings.Finding` objects
+anchored where a human would edit.  Pairs and members are visited in
+sorted order, so reports are deterministic.
+
+- **RL021** (ERROR) — write-write cohort conflict: two co-schedulable
+  handler executions write the same shared-state key and at least one
+  write does not commute with a concurrent copy of the other — cohort
+  insertion order (an accident of unrelated scheduling) decides the
+  final state.  Dict-insertion conflicts only fire when some function
+  observably iterates the container in a non-canonical order.
+- **RL022** (WARNING) — read-write cohort conflict where the read
+  feeds control flow or a recorded metric: whether the branch is taken
+  or which value is recorded depends on cohort order.  Requires strong
+  co-schedule evidence (a pinned coincidence mechanism).
+- **RL023** (ERROR) — nondeterministically-keyed same-instant
+  registrations: fan-out registration in a dict/set-ordered loop whose
+  target mutates shared state (cohort order = iteration order), or
+  same-delay sibling registrations whose distinct targets conflict.
+- **RL024** (ERROR) — non-commutative float accumulation across cohort
+  members: float addition is not associative, so co-scheduled
+  accumulation into one cell is order-dependent even when every single
+  write "looks" like a reduction; reaches through calls via the
+  effects layer's ``float_accum_shared``.
+- **RL025** (WARNING) — dynamic cohort escape, *runtime-only*: emitted
+  by the ``REPRO_SANITIZE=1`` cohort sanitizer when a generator
+  observed in a multi-member cohort is absent from the static model
+  (see :mod:`repro.lint.races.sanitizer`).  Listed here so selection,
+  pragmas, baselines and SARIF know the id; the static pass never
+  fires it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.effects.infer import EffectSignature, cause_chain
+from repro.lint.effects.model import MUT_PARAM, UNSTABLE_ORDERS
+from repro.lint.findings import Finding, Severity, sort_findings
+from repro.lint.races.hb import CoSchedulePair, Key, RacesProgram
+from repro.lint.races.model import (
+    Access,
+    ORDERED_DICT,
+    ORDERED_FLOAT,
+    ORDERED_STORE,
+    Registration,
+    USE_CONTROL,
+    USE_METRIC,
+)
+
+RACES_RULE_IDS: Tuple[str, ...] = (
+    "RL021",
+    "RL022",
+    "RL023",
+    "RL024",
+    "RL025",
+)
+
+_SUMMARIES: Dict[str, str] = {
+    "RL021": (
+        "write-write cohort conflict: two co-schedulable sim handlers write "
+        "the same shared-state key non-commutatively — same-timestamp cohort "
+        "insertion order decides the final state"
+    ),
+    "RL022": (
+        "read-write cohort conflict feeding control flow or a recorded "
+        "metric: whether the branch fires or which value is recorded "
+        "depends on cohort dispatch order"
+    ),
+    "RL023": (
+        "same-instant registrations without a deterministic ordering key: "
+        "fan-out in dict/set iteration order, or same-delay siblings with "
+        "conflicting targets — cohort order is an accident of registration "
+        "order"
+    ),
+    "RL024": (
+        "non-commutative float accumulation across cohort members (directly "
+        "or through calls): float addition is not associative, so the "
+        "accumulated value depends on cohort order"
+    ),
+    "RL025": (
+        "dynamic cohort escape (runtime, REPRO_SANITIZE=1): a generator "
+        "observed in a multi-member cohort is missing from the static races "
+        "model — the static layer cannot vouch for its determinism"
+    ),
+}
+
+
+def races_catalog() -> Dict[str, str]:
+    """``{rule_id: summary}`` merged into ``--list-rules``."""
+    return dict(_SUMMARIES)
+
+
+def _finding(
+    rule_id: str,
+    severity: Severity,
+    path: str,
+    lineno: int,
+    col: int,
+    message: str,
+    fix_hint: str = "",
+) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        severity=severity,
+        path=path,
+        line=lineno,
+        col=col,
+        message=message,
+        fix_hint=fix_hint or f"or suppress: # repro-lint: disable={rule_id}",
+    )
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+def _key_desc(key: Key) -> str:
+    kind, scope, name = key
+    if kind == "self":
+        return f"{scope.partition(':')[2]}.{name}"
+    if kind == "global":
+        return f"{scope}.{name}" if scope else name
+    return f"{name} (param of {_short(scope)})"
+
+
+def _in_scope(
+    races_program: RacesProgram,
+    qualname: str,
+    critical_modules: Optional[Set[str]],
+) -> bool:
+    """Scope gate: determinism-critical modules only (None = no gate,
+    used by standalone/fixture runs; unknown modules stay in scope)."""
+    if critical_modules is None:
+        return True
+    module = races_program.module_of.get(qualname, "")
+    if not module:
+        return True
+    return module in critical_modules
+
+
+def _keyed_accesses(
+    races_program: RacesProgram, member: str
+) -> List[Tuple[Key, Access]]:
+    fa = races_program.functions.get(member)
+    if fa is None:
+        return []
+    keyed: List[Tuple[Key, Access]] = []
+    for access in fa.accesses:
+        key = races_program.access_key(member, access)
+        if key is not None:
+            keyed.append((key, access))
+    return keyed
+
+
+def _write_conflicts(
+    races_program: RacesProgram,
+    pair: CoSchedulePair,
+) -> Iterator[Tuple[Key, Access, Access]]:
+    """Non-commutative write-write key collisions across a pair.
+
+    For a self-pair the cross product includes each write against
+    itself: two pending instances of one handler re-run the same line.
+    """
+    writes_a = [
+        (key, acc)
+        for key, acc in _keyed_accesses(races_program, pair.a)
+        if acc.write
+    ]
+    writes_b = (
+        writes_a
+        if pair.b == pair.a
+        else [
+            (key, acc)
+            for key, acc in _keyed_accesses(races_program, pair.b)
+            if acc.write
+        ]
+    )
+    observed = races_program.order_observed()
+    weak_self = pair.a == pair.b and not pair.strong
+    for key_a, acc_a in writes_a:
+        for key_b, acc_b in writes_b:
+            if key_a != key_b:
+                continue
+            if acc_a.commutes and acc_b.commutes:
+                continue
+            if weak_self and acc_a is acc_b:
+                # Two pending instances of one callback run the *same*
+                # line.  Param-rooted writes hit per-registration
+                # argument objects (each registration binds its own
+                # args), and plain stores whose value ignores the bound
+                # args are symmetric — swapping the instances leaves an
+                # identical state.
+                if acc_a.kind == MUT_PARAM:
+                    continue
+                if (
+                    acc_a.comm_reason == ORDERED_STORE
+                    and acc_a.via != "assign:arg"
+                ):
+                    continue
+            # Pure dict-key insertion only diverges in iteration order;
+            # if nothing iterates the container non-canonically, the
+            # divergence is unobservable.
+            non_commuting = {
+                acc.comm_reason
+                for acc in (acc_a, acc_b)
+                if not acc.commutes
+            }
+            if non_commuting <= {ORDERED_DICT} and key_a not in observed:
+                continue
+            yield key_a, acc_a, acc_b
+
+
+# ---------------------------------------------------------------------------
+# RL021 — write-write cohort conflicts
+# ---------------------------------------------------------------------------
+def check_write_write(
+    races_program: RacesProgram,
+    pairs: List[CoSchedulePair],
+    critical_modules: Optional[Set[str]],
+) -> Iterator[Finding]:
+    seen: Set[Tuple[Key, str, int, str, int]] = set()
+    for pair in pairs:
+        if not _in_scope(races_program, pair.a, critical_modules):
+            continue
+        for key, acc_a, acc_b in _write_conflicts(races_program, pair):
+            # Float accumulation is RL024's domain.
+            if ORDERED_FLOAT in (acc_a.comm_reason, acc_b.comm_reason):
+                continue
+            path_a = races_program.path_of.get(pair.a, "")
+            path_b = races_program.path_of.get(pair.b, "")
+            sites = sorted(
+                [
+                    (path_a, acc_a.lineno, acc_a, pair.a),
+                    (path_b, acc_b.lineno, acc_b, pair.b),
+                ],
+                key=lambda s: (s[0], s[1]),
+            )
+            dedup = (key, sites[0][0], sites[0][1], sites[1][0], sites[1][1])
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            first, second = sites[0], sites[1]
+            if pair.a == pair.b and acc_a is acc_b:
+                detail = (
+                    f"two co-scheduled instances of {_short(pair.a)} re-run "
+                    f"{acc_a.target} ({acc_a.via})"
+                )
+            else:
+                detail = (
+                    f"{_short(first[3])} ({first[2].target} {first[2].via} at "
+                    f"line {first[1]}) vs {_short(second[3])} "
+                    f"({second[2].target} {second[2].via} at line {second[1]})"
+                )
+            yield _finding(
+                "RL021",
+                Severity.ERROR,
+                first[0],
+                first[1],
+                first[2].col,
+                f"write-write cohort conflict on {_key_desc(key)}: {detail} "
+                f"may co-schedule [{pair.evidence}] — cohort insertion order "
+                "decides the final state",
+                "make the writes commutative (exact accumulation, extremum "
+                "fold, set membership) or impose a deterministic ordering "
+                "key (sorted registration/iteration)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RL022 — read-write conflicts feeding control flow / metrics
+# ---------------------------------------------------------------------------
+def check_read_write(
+    races_program: RacesProgram,
+    pairs: List[CoSchedulePair],
+    critical_modules: Optional[Set[str]],
+) -> Iterator[Finding]:
+    seen: Set[Tuple[Key, str, int]] = set()
+    for pair in pairs:
+        if not pair.strong:
+            continue
+        if not _in_scope(races_program, pair.a, critical_modules):
+            continue
+        for reader, writer in ((pair.a, pair.b), (pair.b, pair.a)):
+            reads = [
+                (key, acc)
+                for key, acc in _keyed_accesses(races_program, reader)
+                if not acc.write and acc.use in (USE_CONTROL, USE_METRIC)
+            ]
+            if not reads:
+                continue
+            writes = [
+                (key, acc)
+                for key, acc in _keyed_accesses(races_program, writer)
+                if acc.write
+            ]
+            for key_r, read in reads:
+                for key_w, write in writes:
+                    if key_r != key_w:
+                        continue
+                    if read.use == USE_METRIC and write.commutes:
+                        continue  # same totals either way
+                    path = races_program.path_of.get(reader, "")
+                    dedup = (key_r, path, read.lineno)
+                    if dedup in seen:
+                        continue
+                    seen.add(dedup)
+                    sink = (
+                        "a control-flow decision"
+                        if read.use == USE_CONTROL
+                        else "a recorded metric"
+                    )
+                    yield _finding(
+                        "RL022",
+                        Severity.WARNING,
+                        path,
+                        read.lineno,
+                        read.col,
+                        f"read-write cohort conflict on {_key_desc(key_r)}: "
+                        f"{_short(reader)} reads {read.target} into {sink} "
+                        f"while co-scheduled {_short(writer)} writes it "
+                        f"(line {write.lineno}) [{pair.evidence}] — cohort "
+                        "order decides what the read sees",
+                        "snapshot the value before the cohort (read in a "
+                        "prior segment) or make the decision independent of "
+                        "co-scheduled writes",
+                    )
+            if pair.a == pair.b:
+                break  # self-pair: both orientations are identical
+
+
+# ---------------------------------------------------------------------------
+# RL023 — same-instant registrations without an ordering key
+# ---------------------------------------------------------------------------
+def _target_writes_shared(
+    races_program: RacesProgram,
+    sigs: Dict[str, EffectSignature],
+    target: str,
+) -> str:
+    """Why ``target`` is believed to mutate shared state ('' = clean)."""
+    fa = races_program.functions.get(target)
+    if fa is not None and any(a.write for a in fa.accesses):
+        first = next(a for a in fa.accesses if a.write)
+        return f"writes {first.target} at line {first.lineno}"
+    sig = sigs.get(target)
+    if sig is not None:
+        for flag in ("writes_global", "writes_self", "writes_param"):
+            if getattr(sig, flag):
+                return f"{flag} [{cause_chain(sigs, target, flag)}]"
+    return ""
+
+
+def check_registration_order(
+    races_program: RacesProgram,
+    sigs: Dict[str, EffectSignature],
+    critical_modules: Optional[Set[str]],
+) -> Iterator[Finding]:
+    # (a) fan-out in an unstable-order loop.
+    for qualname in sorted(races_program.functions):
+        if not _in_scope(races_program, qualname, critical_modules):
+            continue
+        fa = races_program.functions[qualname]
+        path = races_program.path_of.get(qualname, "")
+        for reg in fa.registrations:
+            if not reg.in_loop or reg.loop_order not in UNSTABLE_ORDERS:
+                continue
+            target = races_program.resolve_target(reg.target)
+            reason = (
+                _target_writes_shared(races_program, sigs, target)
+                if target
+                else ""
+            )
+            if target and not reason:
+                continue  # provably clean target
+            what = reason or "its effect on shared state is unknown"
+            yield _finding(
+                "RL023",
+                Severity.ERROR,
+                path,
+                reg.lineno,
+                reg.col,
+                f"same-instant {reg.op} fan-out over {reg.loop_text} "
+                f"({reg.loop_order}) in {_short(qualname)}: cohort order = "
+                f"iteration order, which is not canonical, and the target "
+                f"{reg.target_text or reg.target} mutates shared state "
+                f"({what})",
+                "iterate in canonical order (sorted(...)) so same-instant "
+                "registrations carry a deterministic ordering key",
+            )
+        # (b) same-delay siblings with conflicting distinct targets.
+        by_slot: Dict[Tuple[int, str], List[Tuple[str, Registration]]] = {}
+        for reg in fa.registrations:
+            if not reg.delay_class.startswith(("const:", "name:")):
+                continue
+            target = races_program.resolve_target(reg.target)
+            if target:
+                by_slot.setdefault((reg.segment, reg.delay_class), []).append(
+                    (target, reg)
+                )
+        for (segment, delay_class) in sorted(by_slot):
+            slot = by_slot[(segment, delay_class)]
+            targets = sorted({t for t, _ in slot})
+            if len(targets) < 2:
+                continue
+            for i, ta in enumerate(targets):
+                for tb in targets[i + 1 :]:
+                    probe = CoSchedulePair(
+                        a=ta, b=tb, evidence=f"same-delay:{delay_class}"
+                    )
+                    if next(
+                        _write_conflicts(races_program, probe), None
+                    ) is None:
+                        continue
+                    reg = next(r for t, r in slot if t == tb)
+                    yield _finding(
+                        "RL023",
+                        Severity.ERROR,
+                        path,
+                        reg.lineno,
+                        reg.col,
+                        f"{_short(qualname)} registers {_short(ta)} and "
+                        f"{_short(tb)} for the same instant "
+                        f"({delay_class}) and their writes conflict — "
+                        "expiry-cohort order is an accident of registration "
+                        "order",
+                        "stagger the delays, merge the handlers, or make "
+                        "their shared writes commutative",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RL024 — float accumulation across cohort members
+# ---------------------------------------------------------------------------
+def check_float_accumulation(
+    races_program: RacesProgram,
+    pairs: List[CoSchedulePair],
+    sigs: Dict[str, EffectSignature],
+    critical_modules: Optional[Set[str]],
+) -> Iterator[Finding]:
+    seen: Set[Tuple[str, int]] = set()
+    paired: Set[str] = set()
+    self_paired: Set[str] = set()
+    for pair in pairs:
+        paired.add(pair.a)
+        paired.add(pair.b)
+        if pair.a == pair.b:
+            self_paired.add(pair.a)
+    # Direct float-accumulation conflicts (the RL021 machinery, scoped
+    # to ORDERED_FLOAT sides).
+    for pair in pairs:
+        if not _in_scope(races_program, pair.a, critical_modules):
+            continue
+        for key, acc_a, acc_b in _write_conflicts(races_program, pair):
+            if ORDERED_FLOAT not in (acc_a.comm_reason, acc_b.comm_reason):
+                continue
+            site = (
+                (races_program.path_of.get(pair.a, ""), acc_a.lineno, acc_a, pair.a)
+                if (races_program.path_of.get(pair.a, ""), acc_a.lineno)
+                <= (races_program.path_of.get(pair.b, ""), acc_b.lineno)
+                else (races_program.path_of.get(pair.b, ""), acc_b.lineno, acc_b, pair.b)
+            )
+            if (site[0], site[1]) in seen:
+                continue
+            seen.add((site[0], site[1]))
+            yield _finding(
+                "RL024",
+                Severity.ERROR,
+                site[0],
+                site[1],
+                site[2].col,
+                f"non-commutative float accumulation on {_key_desc(key)}: "
+                f"co-scheduled members of [{pair.evidence}] pair "
+                f"{_short(pair.a)}/{_short(pair.b)} accumulate "
+                f"{site[2].target} — float addition is not associative, so "
+                "the total depends on cohort order",
+                "accumulate exactly (integer units, math.fsum over a "
+                "collected list) or fold in a canonical order",
+            )
+    # Through-call accumulation, via the effects layer.
+    for member in sorted(self_paired):
+        if not _in_scope(races_program, member, critical_modules):
+            continue
+        if member not in races_program.instance_groups():
+            continue
+        sig = sigs.get(member)
+        if sig is None or not sig.float_accum_shared:
+            continue
+        if not sig.via.get("float_accum_shared", ""):
+            continue  # direct accumulation: anchored above
+        fa = races_program.functions[member]
+        path = races_program.path_of.get(member, "")
+        if (path, fa.lineno) in seen:
+            continue
+        seen.add((path, fa.lineno))
+        chain = cause_chain(sigs, member, "float_accum_shared")
+        yield _finding(
+            "RL024",
+            Severity.ERROR,
+            path,
+            fa.lineno,
+            fa.col,
+            f"co-schedulable handler {_short(member)} accumulates floats "
+            f"into shared state through its call chain [{chain}] — "
+            "concurrent instances make the total order-dependent",
+            "accumulate exactly (integer units, math.fsum over a collected "
+            "list) or fold in a canonical order",
+        )
+
+
+def check_races(
+    races_program: RacesProgram,
+    sigs: Dict[str, EffectSignature],
+    rule_ids: Optional[Set[str]] = None,
+    critical_modules: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run the selected race rules (None = all; RL025 is runtime-only
+    and never fires here)."""
+    selected = set(RACES_RULE_IDS) if rule_ids is None else set(rule_ids)
+    pairs = races_program.may_co_schedule()
+    findings: List[Finding] = []
+    if "RL021" in selected:
+        findings.extend(
+            check_write_write(races_program, pairs, critical_modules)
+        )
+    if "RL022" in selected:
+        findings.extend(
+            check_read_write(races_program, pairs, critical_modules)
+        )
+    if "RL023" in selected:
+        findings.extend(
+            check_registration_order(races_program, sigs, critical_modules)
+        )
+    if "RL024" in selected:
+        findings.extend(
+            check_float_accumulation(
+                races_program, pairs, sigs, critical_modules
+            )
+        )
+    return sort_findings(findings)

@@ -1,0 +1,220 @@
+"""Runtime cohort sanitizer: cross-validate the static races model.
+
+Enabled with ``REPRO_SANITIZE=1``, the sanitizer shadows the kernel's
+cohort dispatch: for every multi-member timestamp cohort it records
+which *generator* processes (the unit the static model reasons about)
+actually co-scheduled, and checks each one against the generator
+inventory in the committed ``results/races_report.json``.  A generator
+that lives under ``src/repro`` but is absent from the inventory is a
+**dynamic escape** (RL025): the static layer never saw it, so none of
+RL021-RL024 can vouch for it.
+
+Cost contract (the obs null-registry pattern): the kernel binds
+``get_sanitizer()`` once per :class:`~repro.sim.kernel.Simulator`; when
+the env var is unset that binding is ``None`` and the hot loop pays a
+single ``is not None`` per cohort (< 2%, asserted in
+``benchmarks/perf/bench_sanitizer.py``).  The enabled path only
+inspects cohorts with more than one payload — singleton cohorts cannot
+race.
+
+Identity matching is version-independent: a generator is keyed by its
+code object's ``(repo-relative path, co_firstlineno)`` with a
+``(path, co_name)`` fallback, matching the static extractor's
+function line/name.  The model path can be overridden with
+``REPRO_SANITIZE_MODEL`` (used by tests to inject tiny models).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+#: Escapes kept verbatim (further ones only bump the counter).
+_MAX_ESCAPES = 200
+
+#: Path fragment that marks a code object as ours.
+_SRC_MARKER = f"src{os.sep}repro{os.sep}"
+
+
+def _normalize(filename: str) -> str:
+    """Repo-relative forward-slash path of a code filename, or ''."""
+    index = filename.rfind(_SRC_MARKER)
+    if index < 0:
+        return ""
+    return filename[index:].replace(os.sep, "/")
+
+
+class CohortSanitizer:
+    """Shadow tracker for same-cohort generator co-scheduling."""
+
+    def __init__(self, model: Optional[Dict[str, Any]] = None) -> None:
+        self.model_loaded = model is not None
+        self._by_line: Set[Tuple[str, int]] = set()
+        self._by_name: Set[Tuple[str, str]] = set()
+        if model is not None:
+            for entry in model.get("processes", []):
+                path = str(entry.get("path", "")).replace(os.sep, "/")
+                qualname = str(entry.get("qualname", ""))
+                name = qualname.rpartition(".")[2]
+                self._by_line.add((path, int(entry.get("line", 0))))
+                self._by_name.add((path, name))
+        self.cohorts = 0
+        self.multi_cohorts = 0
+        self.generators_seen = 0
+        self.escape_count = 0
+        self.escapes: List[Dict[str, Any]] = []
+        #: (identity a, identity b) -> co-schedule count, identities
+        #: sorted; bounded by distinct generator pairs in the codebase.
+        self.pair_counts: Dict[Tuple[str, str], int] = {}
+        self._known_ok: Set[Tuple[str, int]] = set()
+
+    # -- the hot(ish) path -------------------------------------------------
+    def observe_cohort(self, time: float, payloads: Sequence[Any]) -> None:
+        """Record one multi-member cohort (kernel calls this only when
+        ``len(payloads) > 1``)."""
+        self.multi_cohorts += 1
+        identities: List[str] = []
+        for payload in payloads:
+            generators = ()
+            if payload.__class__ is tuple:
+                # Process wakeups carry the Process at [1]; resource
+                # grants carry (OP_GRANT, resource, process, generation).
+                gen = getattr(payload[1], "generator", None)
+                if gen is None and len(payload) > 2:
+                    gen = getattr(payload[2], "generator", None)
+                if gen is not None:
+                    generators = (gen,)
+            else:
+                callbacks = getattr(payload, "callbacks", None)
+                if callbacks:
+                    generators = tuple(
+                        cb[0].generator
+                        for cb in callbacks
+                        if cb.__class__ is tuple
+                    )
+            for generator in generators:
+                code = getattr(generator, "gi_code", None)
+                if code is None:
+                    continue
+                key = (code.co_filename, code.co_firstlineno)
+                if key in self._known_ok:
+                    self.generators_seen += 1
+                    rel = _normalize(code.co_filename)
+                    identities.append(f"{rel}:{code.co_name}")
+                    continue
+                rel = _normalize(code.co_filename)
+                if not rel:
+                    continue  # not ours (test fixtures, stdlib)
+                self.generators_seen += 1
+                identities.append(f"{rel}:{code.co_name}")
+                if (
+                    (rel, code.co_firstlineno) in self._by_line
+                    or (rel, code.co_name) in self._by_name
+                ):
+                    self._known_ok.add(key)
+                    continue
+                self.escape_count += 1
+                if len(self.escapes) < _MAX_ESCAPES:
+                    self.escapes.append(
+                        {
+                            "path": rel,
+                            "line": code.co_firstlineno,
+                            "name": code.co_name,
+                            "time": time,
+                        }
+                    )
+        uniq = sorted(set(identities))
+        for i, a in enumerate(uniq):
+            for b in uniq[i + 1 :]:
+                pair = (a, b)
+                self.pair_counts[pair] = self.pair_counts.get(pair, 0) + 1
+
+    # -- reporting ---------------------------------------------------------
+    def findings(self) -> List[Dict[str, Any]]:
+        """RL025-shaped dicts for the distinct escaped generators."""
+        distinct: Dict[Tuple[str, int, str], Dict[str, Any]] = {}
+        for escape in self.escapes:
+            key = (escape["path"], escape["line"], escape["name"])
+            distinct.setdefault(key, escape)
+        return [
+            {
+                "rule_id": "RL025",
+                "path": path,
+                "line": line,
+                "message": (
+                    f"dynamic cohort escape: generator {name!r} "
+                    f"({path}:{line}) co-scheduled in a multi-member "
+                    "cohort but is missing from the static races model — "
+                    "regenerate results/races_report.json "
+                    "(python -m repro.lint --races --races-report ...)"
+                ),
+            }
+            for (path, line, name) in sorted(distinct)
+        ]
+
+    def summary(self) -> Dict[str, Any]:
+        top_pairs = sorted(
+            self.pair_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:20]
+        return {
+            "enabled": True,
+            "model_loaded": self.model_loaded,
+            "multi_cohorts": self.multi_cohorts,
+            "generators_seen": self.generators_seen,
+            "escapes": self.escape_count,
+            "top_pairs": [
+                {"a": a, "b": b, "count": count}
+                for (a, b), count in top_pairs
+            ],
+        }
+
+    def reset(self) -> None:
+        self.multi_cohorts = 0
+        self.generators_seen = 0
+        self.escape_count = 0
+        self.escapes = []
+        self.pair_counts = {}
+
+
+def _find_model() -> Optional[Dict[str, Any]]:
+    """Locate and parse the committed races report.
+
+    ``REPRO_SANITIZE_MODEL`` wins; otherwise walk up from this file
+    (``src/repro/lint/races/`` -> repo root) and from the working
+    directory looking for ``results/races_report.json``.
+    """
+    override = os.environ.get("REPRO_SANITIZE_MODEL", "")
+    candidates: List[Path] = []
+    if override:
+        candidates.append(Path(override))
+    else:
+        here = Path(__file__).resolve()
+        for base in (list(here.parents) + list(Path.cwd().resolve().parents) + [Path.cwd().resolve()]):
+            candidates.append(base / "results" / "races_report.json")
+    for candidate in candidates:
+        try:
+            return json.loads(candidate.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+    return None
+
+
+_instance: Optional[CohortSanitizer] = None
+
+
+def get_sanitizer() -> Optional[CohortSanitizer]:
+    """The process-wide sanitizer, or None when disabled.
+
+    The env check runs on every call (cheap; only Simulator
+    construction calls it), so tests can flip ``REPRO_SANITIZE``
+    without re-importing; the enabled instance is created once and
+    shared so escape counts aggregate across simulators.
+    """
+    global _instance
+    if os.environ.get("REPRO_SANITIZE", "") != "1":
+        return None
+    if _instance is None:
+        _instance = CohortSanitizer(model=_find_model())
+    return _instance

@@ -48,16 +48,18 @@ RULE_CLASSES: List[Type[Rule]] = [
 
 def all_rule_ids() -> Set[str]:
     """Every registered id: per-file (RL001-RL011, RL020), dataflow
-    (RL012-RL015), effects (RL016-RL019)."""
-    # Imported lazily: dataflow/effects modules use rules.base helpers,
-    # so a top-level import here would be circular.
+    (RL012-RL015), effects (RL016-RL019), races (RL021-RL025)."""
+    # Imported lazily: dataflow/effects/races modules use rules.base
+    # helpers, so a top-level import here would be circular.
     from repro.lint.dataflow.rules import DATAFLOW_RULE_IDS
     from repro.lint.effects.rules import EFFECTS_RULE_IDS
+    from repro.lint.races.rules import RACES_RULE_IDS
 
     return (
         {c.rule_id for c in RULE_CLASSES}
         | set(DATAFLOW_RULE_IDS)
         | set(EFFECTS_RULE_IDS)
+        | set(RACES_RULE_IDS)
     )
 
 
@@ -68,13 +70,15 @@ def split_selection(
     """Resolve ``--select`` / ``--ignore`` across all rule families.
 
     Returns ``(per_file_rule_classes, interprocedural_rule_ids)``; the
-    second element mixes dataflow (RL012-RL015) and effects
-    (RL016-RL019) ids — the CLI partitions it by family.  Unknown ids
-    in either list raise ``ValueError`` — a typo'd ``--select RL013``
-    silently matching nothing would defeat the point of selecting.
+    second element mixes dataflow (RL012-RL015), effects (RL016-RL019)
+    and races (RL021-RL025) ids — the CLI partitions it by family.
+    Unknown ids in either list raise ``ValueError`` — a typo'd
+    ``--select RL013`` silently matching nothing would defeat the
+    point of selecting.
     """
     from repro.lint.dataflow.rules import DATAFLOW_RULE_IDS
     from repro.lint.effects.rules import EFFECTS_RULE_IDS
+    from repro.lint.races.rules import RACES_RULE_IDS
 
     known = all_rule_ids()
     wanted = {s.upper() for s in select} if select else None
@@ -90,7 +94,7 @@ def split_selection(
     ]
     inter_ids = {
         rid
-        for rid in (*DATAFLOW_RULE_IDS, *EFFECTS_RULE_IDS)
+        for rid in (*DATAFLOW_RULE_IDS, *EFFECTS_RULE_IDS, *RACES_RULE_IDS)
         if (wanted is None or rid in wanted) and rid not in dropped
     }
     return classes, inter_ids
@@ -107,13 +111,15 @@ def get_rule_classes(
 
 def rule_catalog() -> Dict[str, str]:
     """``{rule_id: summary}`` for ``--list-rules`` and the docs test,
-    covering per-file, dataflow, and effects rules."""
+    covering per-file, dataflow, effects, and races rules."""
     from repro.lint.dataflow.rules import dataflow_catalog
     from repro.lint.effects.rules import effects_catalog
+    from repro.lint.races.rules import races_catalog
 
     catalog = {cls.rule_id: cls.summary for cls in RULE_CLASSES}
     catalog.update(dataflow_catalog())
     catalog.update(effects_catalog())
+    catalog.update(races_catalog())
     return dict(sorted(catalog.items()))
 
 

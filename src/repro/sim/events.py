@@ -203,6 +203,14 @@ class EventQueue:
         ``None`` when the queue is empty or the head lies beyond
         ``until``.  ``limit`` caps the cohort size (the remainder stays
         queued and pops first on the next call, preserving order).
+
+        **Cohort contract** (pinned by ``tests/sim/test_events.py::
+        TestCohortPermutation``): payloads come back in exactly push
+        order for *every* permutation of same-timestamp pushes,
+        regardless of interleaved times or merge boundaries.  Cohort
+        order is therefore a pure function of registration order —
+        which is precisely why the races layer (RL021/RL023) flags
+        registrations whose order is itself nondeterministic.
         """
         # _ensure_front, inlined (this is the hottest call in a run).
         lt = self._lt

@@ -333,3 +333,95 @@ class TestTimerCancellation:
             ("gave up", 3.0),
         ]
         assert not process.alive
+
+
+class TestCohortPermutation:
+    """FIFO tie-break under permuted same-timestamp pushes.
+
+    The races layer (RL021/RL023) treats cohort order as an accident of
+    push order; these tests pin down the other half of the contract:
+    the accident is *deterministic*.  ``pop_cohort`` returns payloads
+    in exactly push order for every permutation of logically
+    independent same-instant pushes, regardless of what earlier/later
+    times are interleaved and where the two-level merge boundaries
+    fall.  A simulation whose outcome survives permuting such pushes is
+    therefore genuinely order-independent — the property the
+    cohort-permutation regression tests in ``tests/integration`` rely
+    on.
+    """
+
+    def test_every_permutation_of_five_pops_in_push_order(self):
+        import itertools
+
+        for perm in itertools.permutations(range(5)):
+            queue = EventQueue()
+            for tag in perm:
+                queue.push_wakeup(1.0, ("tag", tag))
+            time, payloads = queue.pop_cohort()
+            assert time == 1.0
+            assert [p[1] for p in payloads] == list(perm)
+            assert not queue
+
+    def test_shuffled_pushes_across_mixed_timestamps(self):
+        import random
+
+        rng = random.Random(49374)
+        for _ in range(50):
+            stamps = [1.0, 2.0, 3.0]
+            plan = [(t, i) for t in stamps for i in range(4)]
+            rng.shuffle(plan)
+            queue = EventQueue()
+            expected = {t: [] for t in stamps}
+            for t, i in plan:
+                queue.push_wakeup(t, ("tag", t, i))
+                expected[t].append(("tag", t, i))
+            for t in stamps:
+                time, payloads = queue.pop_cohort()
+                assert time == t
+                assert list(payloads) == expected[t]
+            assert not queue
+
+    def test_shuffle_survives_interleaved_pops_and_merges(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(25):
+            queue = EventQueue()
+            # Live a batch at t=5 by draining an opener, so later
+            # pushes at t=5 cross the pending/live boundary mid-run.
+            queue.push_wakeup(5.0, ("tag", "seed"))
+            queue.push_wakeup(1.0, ("opener",))
+            expected = [("tag", "seed")]
+            order = list(range(6))
+            rng.shuffle(order)
+            for i in order[:3]:
+                queue.push_wakeup(5.0, ("tag", i))
+                expected.append(("tag", i))
+            assert queue.pop() == (1.0, ("opener",))  # forces a merge
+            for i in order[3:]:
+                queue.push_wakeup(5.0, ("tag", i))
+                expected.append(("tag", i))
+            collected = []
+            while queue:
+                time, payloads = queue.pop_cohort()
+                assert time == 5.0
+                collected.extend(payloads)
+            assert collected == expected
+
+    def test_kernel_dispatch_matches_queue_order(self):
+        """End to end: callbacks scheduled for one instant run in
+        registration order even when registration order is shuffled."""
+        import random
+
+        from repro.sim import Simulator
+
+        rng = random.Random(21)
+        for _ in range(10):
+            sim = Simulator()
+            tags = list(range(8))
+            rng.shuffle(tags)
+            ran = []
+            for tag in tags:
+                sim.schedule(1.0, (lambda t: (lambda e: ran.append(t)))(tag))
+            sim.run()
+            assert ran == tags

@@ -2,10 +2,10 @@
 """Summarize repro-lint findings by rule and by disposition.
 
 Runs the full linter (per-file rules + interprocedural dataflow +
-effect inference) over ``src/repro`` and prints a small report:
-findings per rule id split into new / baselined / suppressed, a
-per-layer breakdown (per-file / dataflow / effects), and the summary
-statistics each layer reports.  The committed copy of the output
+effect inference + happens-before races) over ``src/repro`` and prints
+a small report: findings per rule id split into new / baselined /
+suppressed, a per-layer breakdown (per-file / dataflow / effects /
+races), and the summary statistics each layer reports.  The committed copy of the output
 lives at ``results/lint_stats.txt``; regenerate it with::
 
     python tools/lint_stats.py > results/lint_stats.txt
@@ -28,6 +28,7 @@ from repro.lint import lint_paths  # noqa: E402
 from repro.lint.baseline import Baseline  # noqa: E402
 from repro.lint.dataflow import DATAFLOW_RULE_IDS  # noqa: E402
 from repro.lint.effects import EFFECTS_RULE_IDS  # noqa: E402
+from repro.lint.races import RACES_RULE_IDS  # noqa: E402
 from repro.lint.rules import rule_catalog  # noqa: E402
 
 
@@ -36,6 +37,8 @@ def _layer_of(rule_id: str) -> str:
         return "dataflow"
     if rule_id in EFFECTS_RULE_IDS:
         return "effects"
+    if rule_id in RACES_RULE_IDS:
+        return "races"
     return "per-file"
 
 
@@ -80,7 +83,7 @@ def build_report() -> str:
     for group in groups.values():
         for rule_id, count in group.items():
             layer_findings[_layer_of(rule_id)] += count
-    for layer in ("per-file", "dataflow", "effects"):
+    for layer in ("per-file", "dataflow", "effects", "races"):
         lines.append(
             f"  {layer:<9} {layer_findings[layer]:>4} finding(s) across "
             f"{layer_rules[layer]} rule(s)"
@@ -103,6 +106,21 @@ def build_report() -> str:
             f"{summary.get('pure', 0)} pure / "
             f"{summary.get('with_blockers', 0)} with blockers "
             f"(see results/effects_report.json)"
+        )
+    if result.races_stats is not None:
+        lines.append(
+            f"races: {result.races_stats.files} file(s) summarized, "
+            f"{result.races_stats.members} cohort member(s), "
+            f"{result.races_stats.pairs} may-co-schedule pair(s)"
+        )
+    if result.races_report is not None:
+        summary = result.races_report.get("summary", {})
+        lines.append(
+            "cohort conflicts: "
+            f"{summary.get('strong_pairs', 0)} strong of "
+            f"{summary.get('pairs', 0)} pair(s), "
+            f"{summary.get('conflict_keys', 0)} conflicting state key(s) "
+            f"(see results/races_report.json)"
         )
     quiet = sorted(set(catalog) - {r for g in groups.values() for r in g})
     lines.append(f"rules with zero findings: {', '.join(quiet)}")
